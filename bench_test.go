@@ -1,0 +1,253 @@
+package swdual_test
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§V), plus kernel micro-benchmarks measuring the native Go
+// throughput of each alignment engine. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Table/Figure benchmarks report the modeled paper-scale seconds as
+// custom metrics (model_s) so regenerated values appear directly in the
+// benchmark output; EXPERIMENTS.md records the full tables.
+
+import (
+	"testing"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/bench"
+	"swdual/internal/cudasw"
+	"swdual/internal/gpusim"
+	"swdual/internal/platform"
+	"swdual/internal/sched"
+	"swdual/internal/sw"
+	"swdual/internal/swpar"
+	"swdual/internal/swvector"
+	"swdual/internal/synth"
+)
+
+// BenchmarkTable1Applications regenerates Table I (application registry).
+func BenchmarkTable1Applications(b *testing.B) {
+	r := bench.NewRunner(bench.Config{})
+	for i := 0; i < b.N; i++ {
+		t := r.Table1()
+		if len(t.Rows) != 5 {
+			b.Fatalf("Table I has %d rows, want 5", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkTable2Figure7 regenerates Table II / Figure 7: execution time
+// vs workers on UniProt for the five applications.
+func BenchmarkTable2Figure7(b *testing.B) {
+	r := bench.NewRunner(bench.Config{})
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = r.Table2Figure7()
+	}
+	reportSeries(b, t)
+}
+
+// BenchmarkTable3Databases regenerates Table III (database inventory).
+func BenchmarkTable3Databases(b *testing.B) {
+	r := bench.NewRunner(bench.Config{})
+	for i := 0; i < b.N; i++ {
+		t := r.Table3()
+		if len(t.Rows) != 5 {
+			b.Fatalf("Table III has %d rows, want 5", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkTable4Figure8 regenerates Table IV / Figure 8: SWDUAL time and
+// GCUPS on the five databases.
+func BenchmarkTable4Figure8(b *testing.B) {
+	r := bench.NewRunner(bench.Config{})
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = r.Table4Figure8()
+	}
+	reportSeries(b, t)
+}
+
+// BenchmarkTable5Figure9 regenerates Table V / Figure 9: homogeneous vs
+// heterogeneous query sets.
+func BenchmarkTable5Figure9(b *testing.B) {
+	r := bench.NewRunner(bench.Config{})
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = r.Table5Figure9()
+	}
+	reportSeries(b, t)
+}
+
+// BenchmarkAblationIdleTime regenerates the idle-time ablation backing
+// the paper's "almost no idle time" claim.
+func BenchmarkAblationIdleTime(b *testing.B) {
+	r := bench.NewRunner(bench.Config{})
+	for i := 0; i < b.N; i++ {
+		if t := r.AblationIdle(); len(t.Rows) == 0 {
+			b.Fatal("empty ablation")
+		}
+	}
+}
+
+// BenchmarkAblationSchedulers regenerates the scheduler-quality ablation.
+func BenchmarkAblationSchedulers(b *testing.B) {
+	r := bench.NewRunner(bench.Config{})
+	for i := 0; i < b.N; i++ {
+		if t := r.AblationSchedulers(); len(t.Rows) == 0 {
+			b.Fatal("empty ablation")
+		}
+	}
+}
+
+// reportSeries exposes the last point of each figure series as a custom
+// metric so regenerated numbers are visible in bench output.
+func reportSeries(b *testing.B, t *bench.Table) {
+	b.Helper()
+	for _, s := range t.Series {
+		if n := len(s.Y); n > 0 {
+			b.ReportMetric(s.Y[n-1], "model_s/"+sanitize(s.Name))
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// Engine micro-benchmarks: native Go GCUPS of each kernel.
+
+func benchEngine(b *testing.B, engine sw.Engine, queryLen, dbSeqs, dbLen int) {
+	b.Helper()
+	db := synth.RandomSet(alphabet.Protein, dbSeqs, dbLen, dbLen, 1)
+	query := synth.RandomSet(alphabet.Protein, 1, queryLen, queryLen, 2).Seqs[0].Residues
+	cells := sw.SetCells(len(query), db)
+	b.SetBytes(cells) // bytes/s == cells/s
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Scores(query, db)
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds() / float64(b.N)
+	if secs > 0 {
+		b.ReportMetric(float64(cells)/secs/1e9, "GCUPS")
+	}
+}
+
+// BenchmarkEngineScalar measures the scalar Gotoh oracle.
+func BenchmarkEngineScalar(b *testing.B) {
+	benchEngine(b, sw.NewScalar(sw.DefaultParams()), 256, 32, 360)
+}
+
+// BenchmarkEngineProfiled measures the profile-driven scalar engine.
+func BenchmarkEngineProfiled(b *testing.B) {
+	benchEngine(b, sw.NewProfiled(sw.DefaultParams()), 256, 32, 360)
+}
+
+// BenchmarkEngineStriped measures the Farrar striped SWAR engine.
+func BenchmarkEngineStriped(b *testing.B) {
+	benchEngine(b, swvector.NewStriped(sw.DefaultParams()), 256, 32, 360)
+}
+
+// BenchmarkEngineStriped128 measures the 16-lane (SSE2-width) Farrar
+// engine.
+func BenchmarkEngineStriped128(b *testing.B) {
+	benchEngine(b, swvector.NewStriped128(sw.DefaultParams()), 256, 32, 360)
+}
+
+// BenchmarkEngineInterSeq measures the SWIPE-style inter-sequence engine.
+func BenchmarkEngineInterSeq(b *testing.B) {
+	benchEngine(b, swvector.NewInterSeq(sw.DefaultParams()), 256, 32, 360)
+}
+
+// BenchmarkEngineFineGrained measures the paper's §II.C fine-grained
+// wavefront (one comparison split across goroutines, Figure 2).
+func BenchmarkEngineFineGrained(b *testing.B) {
+	benchEngine(b, swpar.NewEngine(sw.DefaultParams(), swpar.Config{Workers: 4, RowBand: 64}), 2048, 4, 2048)
+}
+
+// BenchmarkAlignHirschberg measures linear-space traceback alignment.
+func BenchmarkAlignHirschberg(b *testing.B) {
+	db := synth.RandomSet(alphabet.Protein, 2, 1500, 1500, 3)
+	q, d := db.Seqs[0].Residues, db.Seqs[1].Residues
+	p := sw.DefaultParams()
+	b.SetBytes(sw.Cells(len(q), len(d)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.AlignHirschberg(p, q, d)
+	}
+}
+
+// BenchmarkAlignFullMatrix measures quadratic-space traceback alignment
+// (the memory-hungry alternative Hirschberg replaces).
+func BenchmarkAlignFullMatrix(b *testing.B) {
+	db := synth.RandomSet(alphabet.Protein, 2, 1500, 1500, 3)
+	q, d := db.Seqs[0].Residues, db.Seqs[1].Residues
+	p := sw.DefaultParams()
+	b.SetBytes(sw.Cells(len(q), len(d)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.Align(p, q, d)
+	}
+}
+
+// BenchmarkEngineCUDASW measures the CUDASW++-style engine (functional
+// throughput of the simulated GPU path, host-side).
+func BenchmarkEngineCUDASW(b *testing.B) {
+	benchEngine(b, cudasw.New(gpusim.New(gpusim.TeslaC2050()), sw.DefaultParams()), 256, 32, 360)
+}
+
+// BenchmarkDualApprox40Tasks measures the scheduler on the paper's task
+// shape (40 tasks, 4+4 PEs).
+func BenchmarkDualApprox40Tasks(b *testing.B) {
+	p := platform.New(4, 4)
+	model := p.ModelDB("uniprot", synth.UniProt.Scaled(100).GenerateLengths())
+	in := p.Instance(model, synth.StandardQueries().Lengths)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.DualApprox(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDualApproxDP40Tasks measures the 3/2 DP refinement.
+func BenchmarkDualApproxDP40Tasks(b *testing.B) {
+	p := platform.New(4, 4)
+	model := p.ModelDB("uniprot", synth.UniProt.Scaled(100).GenerateLengths())
+	in := p.Instance(model, synth.StandardQueries().Lengths)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.DualApproxDP(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGPUSimLaunch measures simulator overhead per kernel launch.
+func BenchmarkGPUSimLaunch(b *testing.B) {
+	dev := gpusim.New(gpusim.TeslaC2050())
+	blocks := make([]*gpusim.Block, 64)
+	for i := range blocks {
+		blocks[i] = &gpusim.Block{Warps: []gpusim.Warp{nopWarp{}}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.Launch(blocks, 1<<20)
+	}
+}
+
+type nopWarp struct{}
+
+func (nopWarp) Run()           {}
+func (nopWarp) Cycles() uint64 { return 1000 }

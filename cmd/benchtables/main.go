@@ -1,0 +1,48 @@
+// Command benchtables regenerates the paper's tables and figures from the
+// calibrated model and, optionally, the functional validation run.
+//
+// Usage:
+//
+//	benchtables                 # all experiments
+//	benchtables -exp table2     # one experiment
+//	benchtables -list           # list experiment ids
+//	benchtables -scale 500      # functional validation at database/500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swdual/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (default: all)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		scale = flag.Int("scale", 2000, "database divisor for the functional validation run")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range bench.ExperimentIDs {
+			fmt.Println(id)
+		}
+		return
+	}
+	r := bench.NewRunner(bench.Config{FunctionalScale: *scale})
+	ids := bench.ExperimentIDs
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		t, err := r.ByID(id)
+		if t != nil {
+			fmt.Println(t.Format())
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command dbconvert converts between FASTA and the binary sequence
+// database format of §IV (random-access index + known sizes).
+//
+// Usage:
+//
+//	dbconvert -in db.fasta -out db.swdb
+//	dbconvert -in db.swdb -out db.fasta
+//	dbconvert -in db.swdb -verify        # CRC check only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"swdual"
+	"swdual/internal/seqdb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dbconvert: ")
+	var (
+		in     = flag.String("in", "", "input file (.fasta or .swdb)")
+		out    = flag.String("out", "", "output file (.fasta or .swdb)")
+		verify = flag.Bool("verify", false, "verify a .swdb file's checksum and exit")
+	)
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("-in is required")
+	}
+	if *verify {
+		f, err := seqdb.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := f.Verify(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: OK (%d sequences, %d residues)\n", *in, f.Count(), f.TotalResidues())
+		return
+	}
+	if *out == "" {
+		log.Fatal("-out is required")
+	}
+	var (
+		db  *swdual.Database
+		err error
+	)
+	if strings.HasSuffix(*in, ".swdb") {
+		db, err = swdual.LoadBinary(*in)
+	} else {
+		db, err = swdual.LoadFASTA(*in)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if strings.HasSuffix(*out, ".swdb") {
+		err = db.SaveBinary(*out)
+	} else {
+		err = db.SaveFASTA(*out)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converted %d sequences (%d residues) %s -> %s\n", db.Len(), db.TotalResidues(), *in, *out)
+}

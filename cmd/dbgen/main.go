@@ -1,0 +1,65 @@
+// Command dbgen generates the synthetic database presets and query sets
+// used by the paper's experiments (Table III), writing FASTA or the
+// binary format of package seqdb.
+//
+// Usage:
+//
+//	dbgen -preset UniProt -scale 2000 -out uniprot.swdb
+//	dbgen -queries standard -out queries.fasta
+//	dbgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"swdual"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dbgen: ")
+	var (
+		preset  = flag.String("preset", "", "database preset name (see -list)")
+		queries = flag.String("queries", "", "query set: standard | homogeneous | heterogeneous")
+		scale   = flag.Int("scale", 1, "divide the preset size by this factor")
+		out     = flag.String("out", "", "output file (.fasta or .swdb)")
+		list    = flag.Bool("list", false, "list presets and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, name := range []string{"Ensembl Dog Proteins", "Ensembl Rat Proteins", "RefSeq Human Proteins", "RefSeq Mouse Proteins", "UniProt"} {
+			fmt.Println(name)
+		}
+		return
+	}
+	if (*preset == "") == (*queries == "") {
+		log.Fatal("exactly one of -preset or -queries is required")
+	}
+	if *out == "" {
+		log.Fatal("-out is required")
+	}
+	var (
+		db  *swdual.Database
+		err error
+	)
+	if *preset != "" {
+		db, err = swdual.GenerateDatabase(*preset, *scale)
+	} else {
+		db, err = swdual.GenerateQueries(*queries, *scale)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if strings.HasSuffix(*out, ".swdb") {
+		err = db.SaveBinary(*out)
+	} else {
+		err = db.SaveFASTA(*out)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d sequences (%d residues) to %s\n", db.Len(), db.TotalResidues(), *out)
+}

@@ -1,0 +1,107 @@
+// Command swdual searches a query set against a sequence database on a
+// hybrid platform of CPU and simulated-GPU workers, using the paper's
+// dual-approximation scheduler.
+//
+// Usage:
+//
+//	swdual -db db.fasta -query q.fasta -cpus 2 -gpus 2
+//	swdual -db db.swdb -query q.fasta -policy self-scheduling -topk 5
+//	swdual -db db.fasta -query q.fasta -plan        # schedule only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"swdual"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swdual: ")
+	var (
+		dbPath   = flag.String("db", "", "database file (.fasta/.fa or .swdb binary)")
+		qPath    = flag.String("query", "", "query file (.fasta/.fa or .swdb binary)")
+		cpus     = flag.Int("cpus", 1, "CPU workers")
+		gpus     = flag.Int("gpus", 1, "GPU workers (simulated Tesla C2050)")
+		topk     = flag.Int("topk", 10, "hits reported per query")
+		matrix   = flag.String("matrix", "BLOSUM62", "substitution matrix")
+		gapS     = flag.Int("gapstart", 10, "gap start penalty Gs")
+		gapE     = flag.Int("gapextend", 2, "gap extend penalty Ge")
+		policy   = flag.String("policy", "dual-approx", "allocation policy: dual-approx | dual-approx-dp | self-scheduling | round-robin")
+		planOnly = flag.Bool("plan", false, "print the modeled schedule instead of searching")
+		evalues  = flag.Bool("evalue", false, "report bit scores and E-values next to each hit")
+	)
+	flag.Parse()
+	if *dbPath == "" || *qPath == "" {
+		log.Fatal("both -db and -query are required")
+	}
+	db, err := load(*dbPath)
+	if err != nil {
+		log.Fatalf("loading database: %v", err)
+	}
+	queries, err := load(*qPath)
+	if err != nil {
+		log.Fatalf("loading queries: %v", err)
+	}
+	opt := swdual.Options{
+		Matrix:    *matrix,
+		GapStart:  *gapS,
+		GapExtend: *gapE,
+		CPUs:      *cpus,
+		GPUs:      *gpus,
+		TopK:      *topk,
+		Policy:    *policy,
+	}
+	if *planOnly {
+		plan, err := swdual.Plan(db, queries, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("algorithm: %s\nmodeled makespan: %.2f s (lower bound %.2f s)\nmodeled GCUPS: %.2f\nidle fraction: %.2f%%\n",
+			plan.Algorithm, plan.Makespan, plan.LowerBound, plan.GCUPS, 100*plan.IdleFraction)
+		for _, tp := range plan.Tasks {
+			fmt.Printf("  q%02d (len %5d) -> %s%d  [%8.2f, %8.2f)\n",
+				tp.QueryIndex, tp.QueryLen, tp.Kind, tp.PE, tp.Start, tp.End)
+		}
+		return
+	}
+	rep, err := swdual.Search(db, queries, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var stats *swdual.ScoreStats
+	if *evalues {
+		stats, err = swdual.NewScoreStats(opt)
+		if err != nil {
+			log.Fatalf("statistics unavailable: %v", err)
+		}
+	}
+	dbRes := db.TotalResidues()
+	for qi, r := range rep.Results {
+		fmt.Printf("query %s (worker %s):\n", r.QueryID, r.Worker)
+		qlen := len(queries.Set().Seqs[qi].Residues)
+		for _, h := range r.Hits {
+			if stats != nil {
+				fmt.Printf("  %-24s score %5d  bits %7.1f  E %.3g\n",
+					h.SeqID, h.Score, stats.BitScore(h.Score), stats.EValue(h.Score, qlen, dbRes))
+				continue
+			}
+			fmt.Printf("  %-24s score %d\n", h.SeqID, h.Score)
+		}
+	}
+	fmt.Printf("\n%d queries, %d cells, wall %v, %.3f GCUPS, policy %v\n",
+		len(rep.Results), rep.Cells, rep.Wall, rep.GCUPS, rep.Policy)
+	if rep.Schedule != nil {
+		fmt.Printf("modeled makespan %.2f s, idle %.2f%%\n", rep.SimMakespan, 100*rep.IdleFraction)
+	}
+}
+
+func load(path string) (*swdual.Database, error) {
+	if strings.HasSuffix(path, ".swdb") {
+		return swdual.LoadBinary(path)
+	}
+	return swdual.LoadFASTA(path)
+}

@@ -1,0 +1,64 @@
+// cluster: the distributed master-slave mode of §IV over real TCP on
+// localhost — one master, two CPU workers and two (simulated) GPU
+// workers, each loading its own copy of the database, exchanging tasks
+// and results through the binary wire protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"swdual"
+)
+
+func main() {
+	db, err := swdual.GenerateDatabase("Ensembl Dog Proteins", 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries, err := swdual.GenerateQueries("standard", 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d sequences; queries: %d\n", db.Len(), queries.Len())
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := l.Addr().String()
+	fmt.Printf("master listening on %s\n", addr)
+
+	opt := swdual.Options{TopK: 3}
+	var wg sync.WaitGroup
+	for i, kind := range []string{"cpu", "cpu", "gpu", "gpu"} {
+		wg.Add(1)
+		go func(i int, kind string) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				log.Fatalf("worker %d: %v", i, err)
+			}
+			// Each worker loads its own database copy (paper §IV: workers
+			// "acquire the same sequences" locally).
+			if err := swdual.ConnectWorker(conn, db, kind, fmt.Sprintf("%s-worker-%d", kind, i), opt); err != nil {
+				log.Fatalf("worker %d: %v", i, err)
+			}
+		}(i, kind)
+	}
+
+	rep, err := swdual.ServeMaster(l, db, queries, 4, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wg.Wait()
+	fmt.Printf("cluster run finished in %v with workers %v\n", rep.Wall, rep.WorkerNames)
+	for qi, res := range rep.Results[:5] {
+		if len(res.Hits) > 0 {
+			fmt.Printf("  query %2d: best hit %-18s score %d\n", qi, res.Hits[0].SeqID, res.Hits[0].Score)
+		}
+	}
+	fmt.Printf("  ... (%d queries total, %d reassigned after failures)\n", len(rep.Results), rep.Reassigned)
+}

@@ -1,0 +1,59 @@
+// Quickstart: align two sequences, then search a tiny in-memory database
+// on a hybrid 1 CPU + 1 GPU platform.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swdual"
+)
+
+func main() {
+	// Pairwise local alignment with traceback (the paper's Figure 1
+	// operation, with affine gaps).
+	al, err := swdual.AlignPair(
+		"MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFKDLGEENFKALVLIAFAQYLQQ",
+		"MKWVTALISLLFLFSSAYSRGVFRRDAHKSEVNHRFKDLGEENFKALVLIAFAQYLQQ",
+		swdual.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pairwise score %d, identity %.1f%%, CIGAR %s\n", al.Score, 100*al.Identity, al.CIGAR)
+	fmt.Println(al.Text)
+
+	// A small database search: every query is compared to every database
+	// sequence; the dual-approximation scheduler splits queries between
+	// the CPU worker (SWIPE-style SWAR engine) and the GPU worker
+	// (CUDASW++-style engine on a simulated Tesla C2050).
+	db, err := swdual.FromSequences(
+		[]string{"albumin-like", "kinase-like", "random-1", "random-2"},
+		[]string{
+			"MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFKDLGEENFKALVLIAFAQYLQQ",
+			"MGSNKSKPKDASQRRRSLEPAENVHGAGGGAFPASQTPSKPASADGHRGPSAAFAPAAAE",
+			"ARNDCQEGHILKMFPSTWYVARNDCQEGHILKMFPSTWYV",
+			"VYWTSPFMKLIHEQCNRADGVYWTSPFMKLIHEQCNRADG",
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries, err := swdual.FromSequences(
+		[]string{"q-albumin", "q-kinase"},
+		[]string{
+			"MKWVTALISLLFLFSSAYSRGVFRRDAHKSEVNHRFKDLGEENFK",
+			"MGSNKSKPKDASQRRRSLEPAENVHGAGGGAFPASQTPSKPASAD",
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := swdual.Search(db, queries, swdual.Options{CPUs: 1, GPUs: 1, TopK: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("query %s (executed on %s):\n", r.QueryID, r.Worker)
+		for _, h := range r.Hits {
+			fmt.Printf("  %-14s score %d\n", h.SeqID, h.Score)
+		}
+	}
+}

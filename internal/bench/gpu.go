@@ -1,0 +1,13 @@
+package bench
+
+import (
+	"swdual/internal/cudasw"
+	"swdual/internal/gpusim"
+	"swdual/internal/sw"
+)
+
+// newGPUEngine builds a CUDASW++-style engine on a fresh simulated Tesla
+// C2050, the per-worker device structure of the paper's platform.
+func newGPUEngine(params sw.Params) *cudasw.Engine {
+	return cudasw.New(gpusim.New(gpusim.TeslaC2050()), params)
+}

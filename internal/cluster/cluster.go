@@ -1,0 +1,412 @@
+// Package cluster runs the SWDUAL master-slave model over real network
+// connections (paper §IV): workers connect, register their kind and
+// measured throughput, and the master feeds them tasks and merges
+// results. Both sides hold their own copy of the sequence database (the
+// paper's workers "acquire the same sequences" locally); only queries and
+// results cross the wire, and a database checksum guards against skew.
+//
+// Allocation follows the configured policy: the dual-approximation
+// schedule splits tasks into per-pool queues (kept in schedule order),
+// and idle workers pull from their own pool first, then steal from the
+// other — so a lost worker only delays its queue instead of stranding it.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"sync"
+	"time"
+
+	"swdual/internal/master"
+	"swdual/internal/sched"
+	"swdual/internal/seq"
+	"swdual/internal/wire"
+)
+
+// Policy mirrors master.Policy for network runs.
+type Policy = master.Policy
+
+// MasterConfig tunes a cluster master.
+type MasterConfig struct {
+	// Workers is the number of workers to wait for before scheduling.
+	Workers int
+	// Policy selects the allocation strategy (dual-approx by default).
+	Policy Policy
+	// TopK caps hits per query (default 10).
+	TopK int
+	// RegisterTimeout bounds the wait for worker registration.
+	RegisterTimeout time.Duration
+}
+
+// Report aggregates a cluster run.
+type Report struct {
+	Results     []wire.Result // indexed by query
+	Wall        time.Duration
+	WorkerNames []string
+	Reassigned  int // tasks re-queued after a worker failure
+}
+
+// DBChecksum fingerprints a database so master and workers can verify
+// they loaded the same sequences.
+func DBChecksum(db *seq.Set) uint32 {
+	crc := crc32.NewIEEE()
+	for i := range db.Seqs {
+		crc.Write(db.Seqs[i].Residues)
+	}
+	return crc.Sum32()
+}
+
+// workerConn is one registered worker.
+type workerConn struct {
+	conn *wire.Conn
+	name string
+	kind sched.Kind
+	rate float64
+}
+
+// Serve accepts cfg.Workers workers on l, distributes the queries and
+// returns the merged results. It closes the listener when done.
+func Serve(l net.Listener, db, queries *seq.Set, cfg MasterConfig) (*Report, error) {
+	defer l.Close()
+	if cfg.Workers <= 0 {
+		return nil, errors.New("cluster: MasterConfig.Workers must be positive")
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = 10
+	}
+	if cfg.RegisterTimeout <= 0 {
+		cfg.RegisterTimeout = 30 * time.Second
+	}
+	checksum := DBChecksum(db)
+
+	workers, err := registerWorkers(l, queries.Len(), checksum, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Results: make([]wire.Result, queries.Len())}
+	for _, w := range workers {
+		rep.WorkerNames = append(rep.WorkerNames, w.name)
+	}
+
+	queues, err := buildQueues(db, queries, workers, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	var (
+		mu        sync.Mutex
+		remaining = queries.Len()
+		done      = make(chan struct{})
+		firstErr  error
+	)
+	// pop returns the next task for a worker kind: own pool first, then
+	// steal.
+	pop := func(kind sched.Kind) (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, k := range []sched.Kind{kind, other(kind)} {
+			q := queues[k]
+			if len(*q) > 0 {
+				ti := (*q)[0]
+				*q = (*q)[1:]
+				return ti, true
+			}
+		}
+		return -1, false
+	}
+	requeue := func(kind sched.Kind, ti int) {
+		mu.Lock()
+		q := queues[kind]
+		*q = append(*q, ti)
+		rep.Reassigned++
+		mu.Unlock()
+	}
+	finish := func(qi int, res *wire.Result) {
+		mu.Lock()
+		rep.Results[qi] = *res
+		remaining--
+		if remaining == 0 {
+			close(done)
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *workerConn) {
+			defer wg.Done()
+			defer w.conn.Close()
+			for {
+				ti, ok := pop(w.kind)
+				if !ok {
+					w.conn.Send(nil) // Done
+					return
+				}
+				q := &queries.Seqs[ti]
+				err := w.conn.Send(&wire.Task{QueryIndex: uint32(ti), QueryID: q.ID, Residues: q.Residues})
+				if err == nil {
+					var msg any
+					msg, err = w.conn.Recv()
+					if err == nil {
+						res, okRes := msg.(*wire.Result)
+						if !okRes || int(res.QueryIndex) != ti {
+							err = fmt.Errorf("cluster: worker %s sent unexpected %T", w.name, msg)
+						} else {
+							finish(ti, res)
+							continue
+						}
+					}
+				}
+				// Worker failed: put the task back for the survivors.
+				requeue(w.kind, ti)
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("cluster: worker %s failed: %w", w.name, err)
+				}
+				mu.Unlock()
+				return
+			}
+		}(w)
+	}
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-done:
+		<-finished
+	case <-finished:
+		// All workers exited; success only if every task completed.
+		mu.Lock()
+		rem := remaining
+		mu.Unlock()
+		if rem > 0 {
+			if firstErr != nil {
+				return nil, fmt.Errorf("cluster: %d tasks unfinished: %w", rem, firstErr)
+			}
+			return nil, fmt.Errorf("cluster: %d tasks unfinished", rem)
+		}
+	}
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+func other(k sched.Kind) sched.Kind {
+	if k == sched.CPU {
+		return sched.GPU
+	}
+	return sched.CPU
+}
+
+// registerWorkers accepts and validates worker registrations.
+func registerWorkers(l net.Listener, queryCount int, checksum uint32, cfg MasterConfig) ([]*workerConn, error) {
+	deadline := time.Now().Add(cfg.RegisterTimeout)
+	if tl, ok := l.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	var workers []*workerConn
+	for len(workers) < cfg.Workers {
+		nc, err := l.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: waiting for workers (%d/%d): %w", len(workers), cfg.Workers, err)
+		}
+		conn := wire.NewConn(nc)
+		msg, err := conn.Recv()
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("cluster: registration: %w", err)
+		}
+		hello, ok := msg.(*wire.Hello)
+		if !ok {
+			conn.Close()
+			return nil, fmt.Errorf("cluster: expected Hello, got %T", msg)
+		}
+		if hello.Version != wire.Version {
+			conn.Send(&wire.ErrorMsg{Text: "protocol version mismatch"})
+			conn.Close()
+			return nil, fmt.Errorf("cluster: worker %s speaks version %d, want %d", hello.Name, hello.Version, wire.Version)
+		}
+		if hello.DBChecksum != checksum {
+			conn.Send(&wire.ErrorMsg{Text: "database checksum mismatch"})
+			conn.Close()
+			return nil, fmt.Errorf("cluster: worker %s has a different database (crc %08x != %08x)", hello.Name, hello.DBChecksum, checksum)
+		}
+		if err := conn.Send(&wire.Welcome{Version: wire.Version, QueryCount: uint32(queryCount), DBChecksum: checksum}); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		kind := sched.CPU
+		if hello.Kind == 1 {
+			kind = sched.GPU
+		}
+		workers = append(workers, &workerConn{conn: conn, name: hello.Name, kind: kind, rate: hello.RateGCUPS})
+	}
+	return workers, nil
+}
+
+// buildQueues splits tasks into per-kind queues according to the policy.
+func buildQueues(db, queries *seq.Set, workers []*workerConn, policy Policy) (map[sched.Kind]*[]int, error) {
+	cpuQ, gpuQ := []int{}, []int{}
+	queues := map[sched.Kind]*[]int{sched.CPU: &cpuQ, sched.GPU: &gpuQ}
+
+	cpus, gpus := 0, 0
+	cpuRate, gpuRate := 0.0, 0.0
+	for _, w := range workers {
+		if w.kind == sched.CPU {
+			cpus++
+			cpuRate += w.rate
+		} else {
+			gpus++
+			gpuRate += w.rate
+		}
+	}
+	switch policy {
+	case master.PolicySelfScheduling, master.PolicyRoundRobin:
+		// One logical queue: alternate kinds so stealing keeps order fair.
+		for i := range queries.Seqs {
+			if gpus > 0 && (cpus == 0 || i%2 == 0) {
+				gpuQ = append(gpuQ, i)
+			} else {
+				cpuQ = append(cpuQ, i)
+			}
+		}
+		return queues, nil
+	}
+	// Dual-approximation split from advertised rates.
+	if cpus > 0 {
+		cpuRate /= float64(cpus)
+	}
+	if gpus > 0 {
+		gpuRate /= float64(gpus)
+	}
+	in := &sched.Instance{CPUs: cpus, GPUs: gpus}
+	dbRes := db.TotalResidues()
+	for i := range queries.Seqs {
+		cells := float64(queries.Seqs[i].Len()) * float64(dbRes)
+		t := sched.Task{ID: i}
+		if cpus > 0 {
+			t.CPUTime = cells / (cpuRate * 1e9)
+		}
+		if gpus > 0 {
+			t.GPUTime = cells / (gpuRate * 1e9)
+		}
+		in.Tasks = append(in.Tasks, t)
+	}
+	var s *sched.Schedule
+	var err error
+	if policy == master.PolicyDualApproxDP {
+		s, err = sched.DualApproxDP(in)
+	} else {
+		s, err = sched.DualApprox(in)
+	}
+	if err != nil {
+		return nil, err
+	}
+	type job struct {
+		task  int
+		start float64
+	}
+	var cpuJobs, gpuJobs []job
+	for _, pl := range s.Placements {
+		if pl.Kind == sched.CPU {
+			cpuJobs = append(cpuJobs, job{pl.Task, pl.Start})
+		} else {
+			gpuJobs = append(gpuJobs, job{pl.Task, pl.Start})
+		}
+	}
+	sortJobs := func(js []job) []int {
+		for i := 1; i < len(js); i++ {
+			for j := i; j > 0 && js[j].start < js[j-1].start; j-- {
+				js[j], js[j-1] = js[j-1], js[j]
+			}
+		}
+		out := make([]int, len(js))
+		for i, j := range js {
+			out[i] = j.task
+		}
+		return out
+	}
+	cpuQ = sortJobs(cpuJobs)
+	gpuQ = sortJobs(gpuJobs)
+	queues[sched.CPU] = &cpuQ
+	queues[sched.GPU] = &gpuQ
+	return queues, nil
+}
+
+// WorkerConfig tunes a cluster worker.
+type WorkerConfig struct {
+	Name string
+	TopK int
+}
+
+// RunWorker connects a worker to the master over nc and serves tasks with
+// the given engine-backed worker until the master sends Done.
+func RunWorker(nc net.Conn, db *seq.Set, w master.Worker, cfg WorkerConfig) error {
+	conn := wire.NewConn(nc)
+	defer conn.Close()
+	if cfg.TopK <= 0 {
+		cfg.TopK = 10
+	}
+	name := cfg.Name
+	if name == "" {
+		name = w.Name()
+	}
+	kind := uint8(0)
+	if w.Kind() == sched.GPU {
+		kind = 1
+	}
+	err := conn.Send(&wire.Hello{
+		Version:    wire.Version,
+		Name:       name,
+		Kind:       kind,
+		RateGCUPS:  w.RateGCUPS(),
+		DBChecksum: DBChecksum(db),
+	})
+	if err != nil {
+		return err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	switch m := msg.(type) {
+	case *wire.Welcome:
+		// Registered.
+	case *wire.ErrorMsg:
+		return fmt.Errorf("cluster: master rejected registration: %s", m.Text)
+	default:
+		return fmt.Errorf("cluster: expected Welcome, got %T", msg)
+	}
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case wire.Done:
+			return nil
+		case *wire.Task:
+			q := seq.Sequence{ID: m.QueryID, Residues: m.Residues}
+			res := w.Run(int(m.QueryIndex), &q, db)
+			out := &wire.Result{
+				QueryIndex: m.QueryIndex,
+				ElapsedNS:  uint64(res.Elapsed.Nanoseconds()),
+				SimSeconds: res.SimSeconds,
+				Cells:      uint64(res.Cells),
+			}
+			for _, h := range res.Hits {
+				out.Hits = append(out.Hits, wire.ResultHit{SeqIndex: uint32(h.SeqIndex), Score: int32(h.Score), SeqID: h.SeqID})
+			}
+			if err := conn.Send(out); err != nil {
+				return err
+			}
+		case *wire.ErrorMsg:
+			return fmt.Errorf("cluster: master error: %s", m.Text)
+		default:
+			return fmt.Errorf("cluster: unexpected message %T", msg)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package cluster
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/master"
+	"swdual/internal/sched"
+	"swdual/internal/seq"
+	"swdual/internal/sw"
+	"swdual/internal/swvector"
+	"swdual/internal/synth"
+	"swdual/internal/wire"
+)
+
+func testData() (db, queries *seq.Set) {
+	db = synth.RandomSet(alphabet.Protein, 50, 10, 150, 31)
+	queries = synth.RandomSet(alphabet.Protein, 10, 20, 80, 32)
+	return db, queries
+}
+
+func cpuWorker(name string) master.Worker {
+	return master.NewEngineWorker(name, sched.CPU, swvector.NewInterSeq(sw.DefaultParams()), 8.3, 5)
+}
+
+func gpuPoolWorker(name string) master.Worker {
+	// A CPU engine registered in the GPU pool exercises pool routing
+	// without simulator overhead.
+	return master.NewEngineWorker(name, sched.GPU, swvector.NewStriped(sw.DefaultParams()), 24.8, 5)
+}
+
+func runCluster(t *testing.T, policy Policy, workerCount int, makeWorker func(i int) master.Worker) *Report {
+	t.Helper()
+	db, queries := testData()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	var wg sync.WaitGroup
+	for i := 0; i < workerCount; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			if err := RunWorker(conn, db, makeWorker(i), WorkerConfig{}); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	rep, err := Serve(l, db, queries, MasterConfig{Workers: workerCount, Policy: policy, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(rep.Results) != queries.Len() {
+		t.Fatalf("%d results for %d queries", len(rep.Results), queries.Len())
+	}
+	// Verify scores against a local oracle run.
+	oracle := sw.NewScalar(sw.DefaultParams())
+	for qi := range rep.Results {
+		want := master.TopHits(db, oracle.Scores(queries.Seqs[qi].Residues, db), 5)
+		got := rep.Results[qi].Hits
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d hits vs %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if int(got[i].Score) != want[i].Score || int(got[i].SeqIndex) != want[i].SeqIndex {
+				t.Fatalf("query %d hit %d mismatch", qi, i)
+			}
+		}
+	}
+	return rep
+}
+
+func TestClusterDualApprox(t *testing.T) {
+	rep := runCluster(t, master.PolicyDualApprox, 3, func(i int) master.Worker {
+		if i == 0 {
+			return gpuPoolWorker("gpu-0")
+		}
+		return cpuWorker("cpu")
+	})
+	if len(rep.WorkerNames) != 3 {
+		t.Fatalf("workers %v", rep.WorkerNames)
+	}
+}
+
+func TestClusterSelfScheduling(t *testing.T) {
+	runCluster(t, master.PolicySelfScheduling, 2, func(i int) master.Worker {
+		return cpuWorker("cpu")
+	})
+}
+
+func TestClusterSingleWorker(t *testing.T) {
+	runCluster(t, master.PolicyDualApprox, 1, func(i int) master.Worker {
+		return cpuWorker("solo")
+	})
+}
+
+func TestChecksumMismatchRejected(t *testing.T) {
+	db, queries := testData()
+	other := synth.RandomSet(alphabet.Protein, 50, 10, 150, 99) // different db
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	errCh := make(chan error, 1)
+	go func() {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		errCh <- RunWorker(conn, other, cpuWorker("bad"), WorkerConfig{})
+	}()
+	_, err = Serve(l, db, queries, MasterConfig{Workers: 1, TopK: 5, RegisterTimeout: 5 * time.Second})
+	if err == nil || !strings.Contains(err.Error(), "different database") {
+		t.Fatalf("master error %v", err)
+	}
+	if werr := <-errCh; werr == nil || !strings.Contains(werr.Error(), "checksum") {
+		t.Fatalf("worker error %v", werr)
+	}
+}
+
+// faultyConn drops the connection after a number of completed sends.
+type faultyConn struct {
+	net.Conn
+	mu        sync.Mutex
+	sendsLeft int
+}
+
+func (c *faultyConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sendsLeft <= 0 {
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	c.sendsLeft--
+	return c.Conn.Write(p)
+}
+
+func TestWorkerFailureReassignsTasks(t *testing.T) {
+	db, queries := testData()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	var wg sync.WaitGroup
+	// Healthy worker.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		if err := RunWorker(conn, db, cpuWorker("healthy"), WorkerConfig{}); err != nil {
+			t.Errorf("healthy worker: %v", err)
+		}
+	}()
+	// Faulty worker: dies after registration + 2 results.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		fc := &faultyConn{Conn: conn, sendsLeft: 3} // hello + 2 results
+		// The worker errors out when its connection dies; that is the
+		// injected fault, not a test failure.
+		_ = RunWorker(fc, db, cpuWorker("flaky"), WorkerConfig{})
+	}()
+	rep, err := Serve(l, db, queries, MasterConfig{Workers: 2, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(rep.Results) != queries.Len() {
+		t.Fatalf("%d results", len(rep.Results))
+	}
+	if rep.Reassigned == 0 {
+		t.Fatal("expected at least one reassigned task after worker failure")
+	}
+	// All queries still answered correctly.
+	oracle := sw.NewScalar(sw.DefaultParams())
+	for qi := range rep.Results {
+		want := master.TopHits(db, oracle.Scores(queries.Seqs[qi].Residues, db), 5)
+		got := rep.Results[qi].Hits
+		if len(got) == 0 || int(got[0].Score) != want[0].Score {
+			t.Fatalf("query %d wrong after reassignment", qi)
+		}
+	}
+}
+
+func TestAllWorkersFail(t *testing.T) {
+	db, queries := testData()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	go func() {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		c := wire.NewConn(conn)
+		c.Send(&wire.Hello{Version: wire.Version, Name: "liar", RateGCUPS: 1, DBChecksum: DBChecksum(db)})
+		c.Recv()     // welcome
+		conn.Close() // die before serving any task
+	}()
+	if _, err := Serve(l, db, queries, MasterConfig{Workers: 1, TopK: 5}); err == nil {
+		t.Fatal("expected failure when every worker dies")
+	}
+}
+
+func TestRegistrationTimeout(t *testing.T) {
+	db, queries := testData()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Serve(l, db, queries, MasterConfig{Workers: 1, RegisterTimeout: 100 * time.Millisecond})
+	if err == nil {
+		t.Fatal("expected registration timeout")
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	db, queries := testData()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	go func() {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		c := wire.NewConn(conn)
+		c.Send(&wire.Hello{Version: 999, Name: "future", DBChecksum: DBChecksum(db)})
+		c.Recv()
+		conn.Close()
+	}()
+	if _, err := Serve(l, db, queries, MasterConfig{Workers: 1, RegisterTimeout: 5 * time.Second}); err == nil {
+		t.Fatal("expected version rejection")
+	}
+}
+
+func TestServeConfigValidation(t *testing.T) {
+	db, queries := testData()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Serve(l, db, queries, MasterConfig{Workers: 0}); err == nil {
+		t.Fatal("zero workers must fail")
+	}
+}

@@ -1,0 +1,200 @@
+package cudasw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/gpusim"
+	"swdual/internal/seq"
+	"swdual/internal/sw"
+	"swdual/internal/synth"
+)
+
+func newEngine() *Engine {
+	return New(gpusim.New(gpusim.TeslaC2050()), sw.DefaultParams())
+}
+
+func TestScoresMatchOracle(t *testing.T) {
+	e := newEngine()
+	p := sw.DefaultParams()
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 15; iter++ {
+		db := synth.RandomSet(alphabet.Protein, 1+rng.Intn(80), 1, 150, int64(iter))
+		qlen := 1 + rng.Intn(90)
+		q := synth.RandomSet(alphabet.Protein, 1, qlen, qlen, int64(iter+1000)).Seqs[0].Residues
+		got := e.Scores(q, db)
+		want := sw.NewScalar(p).Scores(q, db)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d seq %d: gpu %d scalar %d", iter, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIntraTaskKernelUsedForLongSubjects(t *testing.T) {
+	e := newEngine()
+	p := sw.DefaultParams()
+	db := seq.NewSet(alphabet.Protein)
+	long := synth.RandomSet(alphabet.Protein, 1, 4000, 4000, 7).Seqs[0].Residues
+	short := synth.RandomSet(alphabet.Protein, 1, 50, 50, 8).Seqs[0].Residues
+	db.AddEncoded("long", "", long)
+	db.AddEncoded("short", "", short)
+	q := synth.RandomSet(alphabet.Protein, 1, 64, 64, 9).Seqs[0].Residues
+	scores, st := e.Search(q, db)
+	if st.IntraSubject != 1 || st.InterSubject != 1 {
+		t.Fatalf("kernel split inter=%d intra=%d", st.InterSubject, st.IntraSubject)
+	}
+	want := sw.NewScalar(p).Scores(q, db)
+	for i := range want {
+		if scores[i] != want[i] {
+			t.Fatalf("seq %d: %d vs %d", i, scores[i], want[i])
+		}
+	}
+	if st.TotalSec <= 0 || st.Launches < 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSearchStats(t *testing.T) {
+	e := newEngine()
+	// Enough subjects to occupy all 14 SMs (63 warps -> 16 blocks).
+	db := synth.RandomSet(alphabet.Protein, 2000, 50, 400, 11)
+	q := synth.RandomSet(alphabet.Protein, 1, 300, 300, 12).Seqs[0].Residues
+	_, st := e.Search(q, db)
+	if st.Cells != sw.SetCells(len(q), db) {
+		t.Fatalf("cells %d", st.Cells)
+	}
+	if st.GCUPS <= 0 {
+		t.Fatalf("GCUPS %v", st.GCUPS)
+	}
+	if st.Utilization <= 0 || st.Utilization > 1 {
+		t.Fatalf("utilization %v", st.Utilization)
+	}
+	// A loaded device should sit in the real C2050 regime (~17-28 GCUPS
+	// for CUDASW++); allow width for residual imbalance on 16 blocks.
+	if st.GCUPS < 8 || st.GCUPS > 35 {
+		t.Fatalf("simulated GCUPS %v outside plausible band", st.GCUPS)
+	}
+}
+
+func TestTinyDatabaseUnderutilizesDevice(t *testing.T) {
+	// GPUs need large batches: a 200-sequence database cannot fill 14
+	// SMs, so throughput must drop well below the loaded-device regime.
+	e := newEngine()
+	db := synth.RandomSet(alphabet.Protein, 200, 50, 400, 11)
+	q := synth.RandomSet(alphabet.Protein, 1, 300, 300, 12).Seqs[0].Residues
+	_, st := e.Search(q, db)
+	if st.GCUPS > 8 {
+		t.Fatalf("tiny database reached %v GCUPS; occupancy model broken", st.GCUPS)
+	}
+}
+
+func TestPredictMatchesSearchTime(t *testing.T) {
+	e := newEngine()
+	db := synth.RandomSet(alphabet.Protein, 300, 20, 500, 13)
+	lengths := make([]int, db.Len())
+	for i := range db.Seqs {
+		lengths[i] = db.Seqs[i].Len()
+	}
+	q := synth.RandomSet(alphabet.Protein, 1, 250, 250, 14).Seqs[0].Residues
+	_, st := e.Search(q, db)
+	pred := e.PredictSeconds(len(q), lengths)
+	if math.Abs(pred-st.TotalSec) > 1e-9*math.Max(1, st.TotalSec) {
+		t.Fatalf("prediction %g != measured %g", pred, st.TotalSec)
+	}
+}
+
+func TestTimingModelMatchesPredict(t *testing.T) {
+	e := newEngine()
+	lengths := synth.EnsemblDog.Scaled(100).GenerateLengths()
+	tm := e.Model(lengths)
+	for _, qlen := range []int{100, 1000, 5000} {
+		direct := e.PredictSeconds(qlen, lengths)
+		cached := tm.Seconds(qlen)
+		if math.Abs(direct-cached)/direct > 0.02 {
+			t.Fatalf("qlen %d: cached %g vs direct %g", qlen, cached, direct)
+		}
+	}
+	if tm.Seconds(0) != 0 {
+		t.Fatal("zero query must cost 0")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	e := newEngine()
+	db := synth.RandomSet(alphabet.Protein, 3, 10, 10, 15)
+	if got := e.Scores(nil, db); len(got) != 3 {
+		t.Fatal("nil query")
+	}
+	empty := seq.NewSet(alphabet.Protein)
+	if got := e.Scores([]byte{1, 2}, empty); len(got) != 0 {
+		t.Fatal("empty db")
+	}
+	if e.PredictSeconds(0, nil) != 0 {
+		t.Fatal("empty prediction")
+	}
+}
+
+func TestZeroLengthSubjects(t *testing.T) {
+	e := newEngine()
+	db := seq.NewSet(alphabet.Protein)
+	db.AddEncoded("empty", "", nil)
+	db.AddEncoded("x", "", alphabet.Protein.MustEncode("ARND"))
+	q := alphabet.Protein.MustEncode("ARND")
+	got := e.Scores(q, db)
+	if got[0] != 0 {
+		t.Fatalf("empty subject scored %d", got[0])
+	}
+	if got[1] == 0 {
+		t.Fatal("ARND self-ish score must be positive")
+	}
+}
+
+// Property: the simulated GPU engine equals the oracle on arbitrary
+// inputs.
+func TestQuickGPUEqualsOracle(t *testing.T) {
+	e := newEngine()
+	p := sw.DefaultParams()
+	f := func(qr []byte, subjects [][]byte) bool {
+		q := clampResidues(qr, 80)
+		if len(q) == 0 {
+			return true
+		}
+		db := seq.NewSet(alphabet.Protein)
+		for i, s := range subjects {
+			if i == 10 {
+				break
+			}
+			db.AddEncoded("s", "", clampResidues(s, 120))
+		}
+		if db.Len() == 0 {
+			return true
+		}
+		got := e.Scores(q, db)
+		want := sw.NewScalar(p).Scores(q, db)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clampResidues(b []byte, maxLen int) []byte {
+	if len(b) > maxLen {
+		b = b[:maxLen]
+	}
+	out := make([]byte, len(b))
+	for i, v := range b {
+		out[i] = v % byte(alphabet.Protein.Len())
+	}
+	return out
+}

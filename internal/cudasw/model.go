@@ -1,0 +1,59 @@
+package cudasw
+
+// TimingModel caches the launch geometry of one database so that per-query
+// time predictions are O(1). It exploits the fact that every planned cycle
+// cost is linear in the query length: the block-to-SM distribution (and
+// therefore the slowest-SM cycle count) is invariant under scaling all
+// blocks by the same factor, so one reference plan fixes the geometry.
+type TimingModel struct {
+	// SecondsPerQueryResidue is the kernel time contributed by each query
+	// residue (slowest-SM cycles at qlen=1 divided by the clock).
+	SecondsPerQueryResidue float64
+	// FixedSeconds covers transfers and launch overheads, independent of
+	// the query length.
+	FixedSeconds float64
+	// Launches is the number of kernel launches per search.
+	Launches int
+	// Subjects and TotalResidues describe the modeled database.
+	Subjects      int
+	TotalResidues int64
+}
+
+// Seconds predicts the simulated search time for a query of the given
+// length against the modeled database.
+func (m TimingModel) Seconds(queryLen int) float64 {
+	if queryLen <= 0 {
+		return 0
+	}
+	return m.SecondsPerQueryResidue*float64(queryLen) + m.FixedSeconds
+}
+
+// Model builds the cached timing model for a database given its subject
+// lengths. The reference plan uses a large qlen so integer truncation in
+// the per-warp cycle counts is negligible.
+func (e *Engine) Model(subjectLengths []int) TimingModel {
+	const qlenRef = 4096
+	tm := TimingModel{Subjects: len(subjectLengths)}
+	for _, l := range subjectLengths {
+		tm.TotalResidues += int64(l)
+	}
+	if len(subjectLengths) == 0 {
+		return tm
+	}
+	kernelRef := 0.0
+	for _, pl := range e.plan(qlenRef, subjectLengths) {
+		blockCycles := make([]uint64, 0, len(pl.blocks))
+		for _, pb := range pl.blocks {
+			var c uint64
+			for _, pw := range pb {
+				c += pw.cycles
+			}
+			blockCycles = append(blockCycles, c)
+		}
+		kernelRef += e.dev.PredictKernelSec(blockCycles)
+		tm.FixedSeconds += float64(pl.transferBytes)/e.dev.Config().PCIeBytesPerSec + e.dev.Config().LaunchOverheadSec
+		tm.Launches++
+	}
+	tm.SecondsPerQueryResidue = kernelRef / qlenRef
+	return tm
+}

@@ -1,0 +1,262 @@
+package fasta
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/seq"
+)
+
+// Index provides random access into a FASTA file without converting it to
+// the binary format: it records, per record, the byte offset of the first
+// residue line, the sequence length, and the line geometry — the same
+// information as a samtools ".fai" index. The paper's motivation for its
+// binary format (§IV) is that plain FASTA cannot be read at a specific
+// sequence; an index is the complementary solution when the file must stay
+// FASTA.
+type Index struct {
+	Records []IndexRecord
+	byID    map[string]int
+}
+
+// IndexRecord describes one sequence's layout inside the FASTA file.
+type IndexRecord struct {
+	ID        string
+	Length    int   // residues
+	Offset    int64 // byte offset of the first residue line
+	LineBases int   // residues per full line
+	LineBytes int   // bytes per full line including the terminator
+}
+
+// BuildIndex scans FASTA text and produces an index. Records with
+// irregular line lengths (other than a short final line) are rejected, as
+// in the .fai format, because their offsets are not computable.
+func BuildIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	idx := &Index{byID: map[string]int{}}
+	var cur *IndexRecord
+	var offset int64
+	lineno := 0
+	finish := func() error {
+		if cur == nil {
+			return nil
+		}
+		idx.byID[cur.ID] = len(idx.Records)
+		idx.Records = append(idx.Records, *cur)
+		cur = nil
+		return nil
+	}
+	sawShortLine := false
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) == 0 && err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		lineno++
+		lineBytes := len(line)
+		content := strings.TrimRight(string(line), "\r\n")
+		switch {
+		case strings.HasPrefix(content, ">"):
+			if err := finish(); err != nil {
+				return nil, err
+			}
+			header := content[1:]
+			id := header
+			if i := strings.IndexAny(header, " \t"); i >= 0 {
+				id = header[:i]
+			}
+			cur = &IndexRecord{ID: id, Offset: offset + int64(lineBytes)}
+			sawShortLine = false
+		case cur != nil && len(content) > 0:
+			if cur.LineBases == 0 {
+				cur.LineBases = len(content)
+				cur.LineBytes = lineBytes
+			} else if len(content) != cur.LineBases {
+				if sawShortLine {
+					return nil, fmt.Errorf("fasta: record %s has irregular line lengths (line %d)", cur.ID, lineno)
+				}
+				if len(content) > cur.LineBases {
+					return nil, fmt.Errorf("fasta: record %s line %d longer than first line", cur.ID, lineno)
+				}
+				sawShortLine = true
+			} else if sawShortLine {
+				return nil, fmt.Errorf("fasta: record %s has residue lines after a short line (line %d)", cur.ID, lineno)
+			}
+			cur.Length += len(content)
+		case cur != nil && len(content) == 0:
+			// Blank line ends the residue block for offset arithmetic
+			// purposes; treat as irregular if more residues follow.
+			sawShortLine = true
+		}
+		offset += int64(lineBytes)
+		if err == io.EOF {
+			break
+		}
+	}
+	if err := finish(); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// Len returns the number of indexed records.
+func (ix *Index) Len() int { return len(ix.Records) }
+
+// Lookup returns the record index for a sequence ID.
+func (ix *Index) Lookup(id string) (int, bool) {
+	i, ok := ix.byID[id]
+	return i, ok
+}
+
+// WriteFai emits the index in the tab-separated .fai layout
+// (name, length, offset, linebases, linewidth).
+func (ix *Index) WriteFai(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range ix.Records {
+		lb, lw := r.LineBases, r.LineBytes
+		if lb == 0 { // empty sequence: conventionally its length/width
+			lb, lw = 1, 2
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%d\t%d\t%d\n", r.ID, r.Length, r.Offset, lb, lw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseFai reads a .fai index.
+func ParseFai(r io.Reader) (*Index, error) {
+	sc := bufio.NewScanner(r)
+	idx := &Index{byID: map[string]int{}}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec IndexRecord
+		if _, err := fmt.Sscanf(strings.ReplaceAll(line, "\t", " "), "%s %d %d %d %d",
+			&rec.ID, &rec.Length, &rec.Offset, &rec.LineBases, &rec.LineBytes); err != nil {
+			return nil, fmt.Errorf("fasta: bad fai line %q: %v", line, err)
+		}
+		idx.byID[rec.ID] = len(idx.Records)
+		idx.Records = append(idx.Records, rec)
+	}
+	return idx, sc.Err()
+}
+
+// IndexedFile couples a FASTA file with its index for random access.
+type IndexedFile struct {
+	ra    io.ReaderAt
+	close io.Closer
+	idx   *Index
+	alpha *alphabet.Alphabet
+}
+
+// OpenIndexed opens a FASTA file and builds (or reads, if path+".fai"
+// exists) its index.
+func OpenIndexed(path string, a *alphabet.Alphabet) (*IndexedFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var idx *Index
+	if faif, err2 := os.Open(path + ".fai"); err2 == nil {
+		idx, err = ParseFai(faif)
+		faif.Close()
+	} else {
+		idx, err = BuildIndex(f)
+		if err == nil {
+			_, err = f.Seek(0, io.SeekStart)
+		}
+	}
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &IndexedFile{ra: f, close: f, idx: idx, alpha: a}, nil
+}
+
+// NewIndexedFile builds an IndexedFile over any ReaderAt and prebuilt
+// index.
+func NewIndexedFile(ra io.ReaderAt, idx *Index, a *alphabet.Alphabet) *IndexedFile {
+	return &IndexedFile{ra: ra, idx: idx, alpha: a}
+}
+
+// Close releases the underlying file.
+func (f *IndexedFile) Close() error {
+	if f.close != nil {
+		return f.close.Close()
+	}
+	return nil
+}
+
+// Index returns the underlying index.
+func (f *IndexedFile) Index() *Index { return f.idx }
+
+// Sequence reads record i directly, decoding residues with the file's
+// alphabet (lossy: unknown letters map to the catch-all code).
+func (f *IndexedFile) Sequence(i int) (seq.Sequence, error) {
+	if i < 0 || i >= len(f.idx.Records) {
+		return seq.Sequence{}, fmt.Errorf("fasta: record %d out of range [0,%d)", i, len(f.idx.Records))
+	}
+	rec := f.idx.Records[i]
+	if rec.Length == 0 {
+		return seq.Sequence{ID: rec.ID}, nil
+	}
+	// Bytes spanned: full lines plus the partial last line.
+	fullLines := rec.Length / max(rec.LineBases, 1)
+	rem := rec.Length - fullLines*rec.LineBases
+	span := int64(fullLines*rec.LineBytes) + int64(rem)
+	buf := make([]byte, span)
+	if _, err := f.ra.ReadAt(buf, rec.Offset); err != nil && err != io.EOF {
+		return seq.Sequence{}, err
+	}
+	residues := make([]byte, 0, rec.Length)
+	for _, b := range buf {
+		if b == '\n' || b == '\r' {
+			continue
+		}
+		residues = append(residues, b)
+	}
+	if len(residues) < rec.Length {
+		return seq.Sequence{}, fmt.Errorf("fasta: record %s truncated: got %d of %d residues", rec.ID, len(residues), rec.Length)
+	}
+	residues = residues[:rec.Length]
+	sub, _ := f.alpha.AnyCode()
+	enc, _ := f.alpha.EncodeLossy(residues, sub)
+	return seq.Sequence{ID: rec.ID, Residues: enc}, nil
+}
+
+// SequenceByID reads a record by its identifier.
+func (f *IndexedFile) SequenceByID(id string) (seq.Sequence, error) {
+	i, ok := f.idx.Lookup(id)
+	if !ok {
+		return seq.Sequence{}, fmt.Errorf("fasta: no record %q in index", id)
+	}
+	return f.Sequence(i)
+}
+
+// IDs returns the sorted record identifiers.
+func (f *IndexedFile) IDs() []string {
+	out := make([]string, len(f.idx.Records))
+	for i, r := range f.idx.Records {
+		out[i] = r.ID
+	}
+	sort.Strings(out)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,164 @@
+package fasta
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/synth"
+)
+
+func TestBuildIndexAndRandomAccess(t *testing.T) {
+	set := synth.RandomSet(alphabet.Protein, 30, 1, 400, 71)
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	idx, err := BuildIndex(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != set.Len() {
+		t.Fatalf("index has %d records, want %d", idx.Len(), set.Len())
+	}
+	f := NewIndexedFile(bytes.NewReader(data), idx, alphabet.Protein)
+	// Out-of-order random access.
+	for _, i := range []int{29, 0, 17, 5, 29} {
+		s, err := f.Sequence(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.ID != set.Seqs[i].ID {
+			t.Fatalf("record %d id %q want %q", i, s.ID, set.Seqs[i].ID)
+		}
+		if !bytes.Equal(s.Residues, set.Seqs[i].Residues) {
+			t.Fatalf("record %d residues differ", i)
+		}
+	}
+	// Lookup by ID.
+	s, err := f.SequenceByID(set.Seqs[12].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s.Residues, set.Seqs[12].Residues) {
+		t.Fatal("SequenceByID residues differ")
+	}
+	if _, err := f.SequenceByID("missing"); err == nil {
+		t.Fatal("missing id must fail")
+	}
+	if _, err := f.Sequence(99); err == nil {
+		t.Fatal("out-of-range index must fail")
+	}
+	if len(f.IDs()) != set.Len() {
+		t.Fatal("IDs()")
+	}
+}
+
+func TestFaiRoundTrip(t *testing.T) {
+	set := synth.RandomSet(alphabet.Protein, 10, 1, 200, 72)
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fai bytes.Buffer
+	if err := idx.WriteFai(&fai); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseFai(&fai)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != idx.Len() {
+		t.Fatalf("fai round trip %d vs %d", back.Len(), idx.Len())
+	}
+	for i := range idx.Records {
+		if back.Records[i] != idx.Records[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, back.Records[i], idx.Records[i])
+		}
+	}
+}
+
+func TestOpenIndexedWithAndWithoutFai(t *testing.T) {
+	dir := t.TempDir()
+	set := synth.RandomSet(alphabet.Protein, 8, 5, 120, 73)
+	path := filepath.Join(dir, "db.fasta")
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Without .fai: index built on the fly.
+	f, err := OpenIndexed(path, alphabet.Protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.Sequence(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s.Residues, set.Seqs[3].Residues) {
+		t.Fatal("residues differ (built index)")
+	}
+	// Persist the index and reopen.
+	faif, err := os.Create(path + ".fai")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Index().WriteFai(faif); err != nil {
+		t.Fatal(err)
+	}
+	faif.Close()
+	f.Close()
+	f2, err := OpenIndexed(path, alphabet.Protein)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	s2, err := f2.Sequence(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s2.Residues, set.Seqs[3].Residues) {
+		t.Fatal("residues differ (fai index)")
+	}
+}
+
+func TestBuildIndexRejectsIrregularLines(t *testing.T) {
+	in := ">a\nARND\nAR\nARND\n"
+	if _, err := BuildIndex(strings.NewReader(in)); err == nil {
+		t.Fatal("short middle line must be rejected")
+	}
+	in2 := ">a\nAR\nARND\n"
+	if _, err := BuildIndex(strings.NewReader(in2)); err == nil {
+		t.Fatal("growing line must be rejected")
+	}
+}
+
+func TestBuildIndexCRLF(t *testing.T) {
+	in := ">a x\r\nARND\r\nAR\r\n>b\r\nCQ\r\n"
+	idx, err := BuildIndex(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Records[0].Length != 6 || idx.Records[1].Length != 2 {
+		t.Fatalf("lengths %+v", idx.Records)
+	}
+	f := NewIndexedFile(strings.NewReader(in), idx, alphabet.Protein)
+	s, err := f.Sequence(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alphabet.Protein.DecodeString(s.Residues) != "ARNDAR" {
+		t.Fatalf("CRLF residues %q", alphabet.Protein.DecodeString(s.Residues))
+	}
+}

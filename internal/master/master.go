@@ -1,0 +1,384 @@
+// Package master implements the paper's master-slave model (§IV,
+// Figure 6) for in-process execution: the master generates one task per
+// query sequence, gathers worker capabilities at registration, allocates
+// tasks with a pluggable policy (the dual-approximation scheduler by
+// default), dispatches them, and merges the workers' results.
+//
+// Workers run real engines — the SWIPE-style SWAR engine on CPU workers,
+// the simulated-GPU CUDASW++ engine on GPU workers — so a Run produces
+// exact alignment scores; GPU workers additionally report their simulated
+// device time so paper-scale timing experiments and functional runs share
+// one code path.
+package master
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"swdual/internal/sched"
+	"swdual/internal/seq"
+	"swdual/internal/sw"
+)
+
+// Hit is one database match of a query.
+type Hit struct {
+	SeqIndex int
+	SeqID    string
+	Score    int
+}
+
+// QueryResult is the merged outcome of one task.
+type QueryResult struct {
+	QueryIndex int
+	QueryID    string
+	Hits       []Hit // descending score, capped at the master's TopK
+	Worker     string
+	WorkerKind sched.Kind
+	Elapsed    time.Duration // wall time spent by the worker
+	SimSeconds float64       // simulated device seconds (GPU workers)
+	Cells      int64
+}
+
+// Worker is a processing element registered with the master.
+type Worker interface {
+	// Name identifies the worker in reports.
+	Name() string
+	// Kind reports the scheduling pool the worker belongs to.
+	Kind() sched.Kind
+	// Run compares one query against the whole database.
+	Run(queryIndex int, query *seq.Sequence, db *seq.Set) QueryResult
+	// RateGCUPS is the worker's advertised throughput, used by the
+	// scheduling policies to estimate task processing times (the paper's
+	// master "uses the information gathered from the workers").
+	RateGCUPS() float64
+}
+
+// Policy selects how the master allocates tasks to workers.
+type Policy int
+
+// Allocation policies.
+const (
+	// PolicyDualApprox is the paper's one-round dual-approximation
+	// allocation (§III).
+	PolicyDualApprox Policy = iota
+	// PolicyDualApproxDP is the 3/2 dynamic-programming refinement.
+	PolicyDualApproxDP
+	// PolicySelfScheduling is the related-work baseline [10]: idle
+	// workers pull the next task.
+	PolicySelfScheduling
+	// PolicyRoundRobin deals tasks over workers in turn ([11]'s
+	// equal-power assumption).
+	PolicyRoundRobin
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyDualApprox:
+		return "dual-approx"
+	case PolicyDualApproxDP:
+		return "dual-approx-dp"
+	case PolicySelfScheduling:
+		return "self-scheduling"
+	case PolicyRoundRobin:
+		return "round-robin"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Config tunes a master run.
+type Config struct {
+	Policy Policy
+	// TopK bounds the hits kept per query (default 10).
+	TopK int
+	// Parallelism bounds concurrently running workers (default: all).
+	Parallelism int
+}
+
+// Report is the outcome of a master run.
+type Report struct {
+	Policy       Policy
+	Results      []QueryResult // indexed by query
+	Wall         time.Duration
+	Cells        int64
+	GCUPS        float64 // based on wall time
+	Schedule     *sched.Schedule
+	WorkerBusy   map[string]time.Duration
+	WorkerTasks  map[string]int
+	SimMakespan  float64 // simulated makespan from the schedule, if any
+	IdleFraction float64
+}
+
+// Master coordinates a search.
+type Master struct {
+	db      *seq.Set
+	queries *seq.Set
+	workers []Worker
+	cfg     Config
+}
+
+// New builds a master. Workers register by being passed here, mirroring
+// the registration step of Figure 6.
+func New(db, queries *seq.Set, workers []Worker, cfg Config) (*Master, error) {
+	if db == nil || queries == nil {
+		return nil, fmt.Errorf("master: nil database or query set")
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("master: no workers registered")
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = 10
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Master{db: db, queries: queries, workers: workers, cfg: cfg}, nil
+}
+
+// Instance builds the scheduling instance from worker-advertised rates.
+func (m *Master) Instance() *sched.Instance {
+	cpuRate, gpuRate := 0.0, 0.0
+	cpus, gpus := 0, 0
+	for _, w := range m.workers {
+		if w.Kind() == sched.CPU {
+			cpuRate += w.RateGCUPS()
+			cpus++
+		} else {
+			gpuRate += w.RateGCUPS()
+			gpus++
+		}
+	}
+	if cpus > 0 {
+		cpuRate /= float64(cpus)
+	}
+	if gpus > 0 {
+		gpuRate /= float64(gpus)
+	}
+	in := &sched.Instance{CPUs: cpus, GPUs: gpus}
+	dbRes := m.db.TotalResidues()
+	for i := range m.queries.Seqs {
+		cells := float64(m.queries.Seqs[i].Len()) * float64(dbRes)
+		t := sched.Task{ID: i, Label: m.queries.Seqs[i].ID}
+		if cpus > 0 {
+			t.CPUTime = cells / (cpuRate * 1e9)
+		}
+		if gpus > 0 {
+			t.GPUTime = cells / (gpuRate * 1e9)
+		}
+		in.Tasks = append(in.Tasks, t)
+	}
+	return in
+}
+
+// Run executes the search: allocate, dispatch, merge (Figure 6).
+func (m *Master) Run() (*Report, error) {
+	start := time.Now()
+	rep := &Report{
+		Policy:      m.cfg.Policy,
+		Results:     make([]QueryResult, m.queries.Len()),
+		WorkerBusy:  map[string]time.Duration{},
+		WorkerTasks: map[string]int{},
+	}
+	var err error
+	switch m.cfg.Policy {
+	case PolicyDualApprox, PolicyDualApproxDP, PolicyRoundRobin:
+		err = m.runOneRound(rep)
+	case PolicySelfScheduling:
+		err = m.runSelfScheduling(rep)
+	default:
+		err = fmt.Errorf("master: unknown policy %v", m.cfg.Policy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.Wall = time.Since(start)
+	for i := range rep.Results {
+		rep.Cells += rep.Results[i].Cells
+	}
+	if s := rep.Wall.Seconds(); s > 0 {
+		rep.GCUPS = float64(rep.Cells) / s / 1e9
+	}
+	if rep.Schedule != nil {
+		rep.SimMakespan = rep.Schedule.Makespan
+		rep.IdleFraction = rep.Schedule.IdleFraction()
+	}
+	return rep, nil
+}
+
+// runOneRound allocates every task up front, then lets each worker drain
+// its own queue — the paper's one-round master-slave mode.
+func (m *Master) runOneRound(rep *Report) error {
+	queues := make([][]int, len(m.workers))
+	switch m.cfg.Policy {
+	case PolicyRoundRobin:
+		for i := range m.queries.Seqs {
+			w := i % len(m.workers)
+			queues[w] = append(queues[w], i)
+		}
+	default:
+		in := m.Instance()
+		var s *sched.Schedule
+		var err error
+		if m.cfg.Policy == PolicyDualApproxDP {
+			s, err = sched.DualApproxDP(in)
+		} else {
+			s, err = sched.DualApprox(in)
+		}
+		if err != nil {
+			return err
+		}
+		rep.Schedule = s
+		// Map (kind, pe) pairs onto concrete workers.
+		cpuIdx, gpuIdx := []int{}, []int{}
+		for wi, w := range m.workers {
+			if w.Kind() == sched.CPU {
+				cpuIdx = append(cpuIdx, wi)
+			} else {
+				gpuIdx = append(gpuIdx, wi)
+			}
+		}
+		// Dispatch per PE in schedule start order.
+		type job struct {
+			task  int
+			start float64
+		}
+		perPE := map[int][]job{}
+		for _, pl := range s.Placements {
+			var wi int
+			if pl.Kind == sched.CPU {
+				wi = cpuIdx[pl.PE]
+			} else {
+				wi = gpuIdx[pl.PE]
+			}
+			perPE[wi] = append(perPE[wi], job{task: pl.Task, start: pl.Start})
+		}
+		for wi, jobs := range perPE {
+			sort.Slice(jobs, func(a, b int) bool { return jobs[a].start < jobs[b].start })
+			for _, j := range jobs {
+				queues[wi] = append(queues[wi], j.task)
+			}
+		}
+	}
+
+	sem := make(chan struct{}, m.cfg.Parallelism)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for wi, queue := range queues {
+		if len(queue) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(wi int, queue []int) {
+			defer wg.Done()
+			w := m.workers[wi]
+			for _, qi := range queue {
+				sem <- struct{}{}
+				res := w.Run(qi, &m.queries.Seqs[qi], m.db)
+				<-sem
+				mu.Lock()
+				rep.Results[qi] = res
+				rep.WorkerBusy[w.Name()] += res.Elapsed
+				rep.WorkerTasks[w.Name()]++
+				mu.Unlock()
+			}
+		}(wi, queue)
+	}
+	wg.Wait()
+	return nil
+}
+
+// runSelfScheduling runs the dynamic baseline: a shared task channel that
+// idle workers pull from.
+func (m *Master) runSelfScheduling(rep *Report) error {
+	tasks := make(chan int)
+	go func() {
+		for i := range m.queries.Seqs {
+			tasks <- i
+		}
+		close(tasks)
+	}()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, w := range m.workers {
+		wg.Add(1)
+		go func(w Worker) {
+			defer wg.Done()
+			for qi := range tasks {
+				res := w.Run(qi, &m.queries.Seqs[qi], m.db)
+				mu.Lock()
+				rep.Results[qi] = res
+				rep.WorkerBusy[w.Name()] += res.Elapsed
+				rep.WorkerTasks[w.Name()]++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}
+
+// TopHits converts raw scores into the capped, sorted hit list.
+func TopHits(db *seq.Set, scores []int, k int) []Hit {
+	hits := make([]Hit, 0, len(scores))
+	for i, s := range scores {
+		hits = append(hits, Hit{SeqIndex: i, SeqID: db.Seqs[i].ID, Score: s})
+	}
+	sort.SliceStable(hits, func(a, b int) bool {
+		if hits[a].Score != hits[b].Score {
+			return hits[a].Score > hits[b].Score
+		}
+		return hits[a].SeqIndex < hits[b].SeqIndex
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// Engine-backed workers.
+
+// EngineWorker wraps any sw.Engine as a CPU-pool worker.
+type EngineWorker struct {
+	name   string
+	kind   sched.Kind
+	engine sw.Engine
+	rate   float64
+	topK   int
+}
+
+// NewEngineWorker builds a worker over an engine. rateGCUPS is the
+// advertised throughput used for scheduling estimates.
+func NewEngineWorker(name string, kind sched.Kind, engine sw.Engine, rateGCUPS float64, topK int) *EngineWorker {
+	if topK <= 0 {
+		topK = 10
+	}
+	return &EngineWorker{name: name, kind: kind, engine: engine, rate: rateGCUPS, topK: topK}
+}
+
+// Name implements Worker.
+func (w *EngineWorker) Name() string { return w.name }
+
+// Kind implements Worker.
+func (w *EngineWorker) Kind() sched.Kind { return w.kind }
+
+// RateGCUPS implements Worker.
+func (w *EngineWorker) RateGCUPS() float64 { return w.rate }
+
+// Run implements Worker.
+func (w *EngineWorker) Run(queryIndex int, query *seq.Sequence, db *seq.Set) QueryResult {
+	start := time.Now()
+	scores := w.engine.Scores(query.Residues, db)
+	elapsed := time.Since(start)
+	return QueryResult{
+		QueryIndex: queryIndex,
+		QueryID:    query.ID,
+		Hits:       TopHits(db, scores, w.topK),
+		Worker:     w.name,
+		WorkerKind: w.kind,
+		Elapsed:    elapsed,
+		Cells:      sw.SetCells(query.Len(), db),
+	}
+}

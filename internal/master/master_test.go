@@ -1,0 +1,204 @@
+package master
+
+import (
+	"testing"
+	"time"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/cudasw"
+	"swdual/internal/gpusim"
+	"swdual/internal/sched"
+	"swdual/internal/seq"
+	"swdual/internal/sw"
+	"swdual/internal/swvector"
+	"swdual/internal/synth"
+)
+
+func testWorkers(topK int) []Worker {
+	params := sw.DefaultParams()
+	return []Worker{
+		NewGPUWorker("gpu-0", cudasw.New(gpusim.New(gpusim.TeslaC2050()), params), 24.8, topK),
+		NewGPUWorker("gpu-1", cudasw.New(gpusim.New(gpusim.TeslaC2050()), params), 24.8, topK),
+		NewEngineWorker("cpu-0", sched.CPU, swvector.NewInterSeq(params), 8.3, topK),
+		NewEngineWorker("cpu-1", sched.CPU, swvector.NewStriped(params), 8.3, topK),
+	}
+}
+
+func testData(t *testing.T) (db, queries *seq.Set) {
+	t.Helper()
+	db = synth.RandomSet(alphabet.Protein, 60, 10, 200, 21)
+	queries = synth.RandomSet(alphabet.Protein, 12, 20, 120, 22)
+	return db, queries
+}
+
+func TestRunDualApprox(t *testing.T) {
+	db, queries := testData(t)
+	m, err := New(db, queries, testWorkers(5), Config{Policy: PolicyDualApprox, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != queries.Len() {
+		t.Fatalf("%d results", len(rep.Results))
+	}
+	if rep.Schedule == nil {
+		t.Fatal("dual approx must report a schedule")
+	}
+	if rep.Cells <= 0 || rep.Wall <= 0 {
+		t.Fatalf("accounting: cells %d wall %v", rep.Cells, rep.Wall)
+	}
+	// Every query answered with sorted hits.
+	oracle := sw.NewScalar(sw.DefaultParams())
+	for qi, res := range rep.Results {
+		if res.QueryID == "" || len(res.Hits) == 0 {
+			t.Fatalf("query %d missing results", qi)
+		}
+		for i := 1; i < len(res.Hits); i++ {
+			if res.Hits[i].Score > res.Hits[i-1].Score {
+				t.Fatalf("query %d hits not sorted", qi)
+			}
+		}
+		want := TopHits(db, oracle.Scores(queries.Seqs[qi].Residues, db), 5)
+		for i := range want {
+			if res.Hits[i].Score != want[i].Score || res.Hits[i].SeqIndex != want[i].SeqIndex {
+				t.Fatalf("query %d hit %d: got (%d,%d) want (%d,%d)", qi, i,
+					res.Hits[i].SeqIndex, res.Hits[i].Score, want[i].SeqIndex, want[i].Score)
+			}
+		}
+	}
+}
+
+func TestAllPoliciesProduceIdenticalHits(t *testing.T) {
+	db, queries := testData(t)
+	var ref *Report
+	for _, policy := range []Policy{PolicyDualApprox, PolicyDualApproxDP, PolicySelfScheduling, PolicyRoundRobin} {
+		m, err := New(db, queries, testWorkers(5), Config{Policy: policy, TopK: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if ref == nil {
+			ref = rep
+			continue
+		}
+		for qi := range rep.Results {
+			a, b := rep.Results[qi].Hits, ref.Results[qi].Hits
+			if len(a) != len(b) {
+				t.Fatalf("%v query %d: %d hits vs %d", policy, qi, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v query %d hit %d differs", policy, qi, i)
+				}
+			}
+		}
+	}
+}
+
+func TestInstanceFromWorkerRates(t *testing.T) {
+	db, queries := testData(t)
+	m, err := New(db, queries, testWorkers(3), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := m.Instance()
+	if in.CPUs != 2 || in.GPUs != 2 {
+		t.Fatalf("pools %d/%d", in.CPUs, in.GPUs)
+	}
+	if len(in.Tasks) != queries.Len() {
+		t.Fatalf("%d tasks", len(in.Tasks))
+	}
+	for _, task := range in.Tasks {
+		if task.CPUTime <= 0 || task.GPUTime <= 0 {
+			t.Fatalf("task times %+v", task)
+		}
+		// Advertised GPU rate (24.8) beats CPU rate (8.3).
+		if task.GPUTime >= task.CPUTime {
+			t.Fatalf("task %d not accelerated: %+v", task.ID, task)
+		}
+	}
+}
+
+func TestWorkerAccounting(t *testing.T) {
+	db, queries := testData(t)
+	m, err := New(db, queries, testWorkers(2), Config{Policy: PolicySelfScheduling})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range rep.WorkerTasks {
+		total += n
+	}
+	if total != queries.Len() {
+		t.Fatalf("task accounting: %d vs %d", total, queries.Len())
+	}
+	var busy time.Duration
+	for _, d := range rep.WorkerBusy {
+		busy += d
+	}
+	if busy <= 0 {
+		t.Fatal("no busy time recorded")
+	}
+}
+
+func TestTopHits(t *testing.T) {
+	db := seq.NewSet(alphabet.Protein)
+	db.AddEncoded("a", "", []byte{0})
+	db.AddEncoded("b", "", []byte{0})
+	db.AddEncoded("c", "", []byte{0})
+	hits := TopHits(db, []int{5, 9, 5}, 2)
+	if len(hits) != 2 {
+		t.Fatalf("%d hits", len(hits))
+	}
+	if hits[0].SeqID != "b" || hits[0].Score != 9 {
+		t.Fatalf("best hit %+v", hits[0])
+	}
+	// Ties break on sequence index.
+	if hits[1].SeqID != "a" {
+		t.Fatalf("tie break %+v", hits[1])
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	db, queries := testData(t)
+	if _, err := New(nil, queries, testWorkers(1), Config{}); err == nil {
+		t.Fatal("nil db must fail")
+	}
+	if _, err := New(db, queries, nil, Config{}); err == nil {
+		t.Fatal("no workers must fail")
+	}
+	m, err := New(db, queries, testWorkers(1), Config{Policy: Policy(99)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil {
+		t.Fatal("unknown policy must fail")
+	}
+	if Policy(99).String() == "" || PolicyDualApprox.String() != "dual-approx" {
+		t.Fatal("policy names")
+	}
+}
+
+func TestGPUWorkerReportsSimTime(t *testing.T) {
+	params := sw.DefaultParams()
+	w := NewGPUWorker("gpu", cudasw.New(gpusim.New(gpusim.TeslaC2050()), params), 24.8, 3)
+	db := synth.RandomSet(alphabet.Protein, 40, 10, 100, 33)
+	q := &db.Seqs[0]
+	res := w.Run(0, q, db)
+	if res.SimSeconds <= 0 {
+		t.Fatal("GPU worker must report simulated seconds")
+	}
+	if w.Engine() == nil || w.Kind() != sched.GPU || w.RateGCUPS() != 24.8 {
+		t.Fatal("accessors")
+	}
+}

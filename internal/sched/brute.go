@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// BruteForce computes the exact optimal makespan by depth-first search
+// over all machine assignments with branch-and-bound pruning and symmetry
+// breaking. It exists to verify the approximation guarantees in tests and
+// refuses instances beyond a small size.
+func BruteForce(in *Instance) (*Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.Tasks)
+	machines := in.CPUs + in.GPUs
+	if n > 12 || machines > 6 {
+		return nil, fmt.Errorf("sched: brute force limited to <=12 tasks and <=6 PEs, got %d/%d", n, machines)
+	}
+	loads := make([]float64, machines)
+	assign := make([]int, n)
+	bestAssign := make([]int, n)
+	best := math.Inf(1)
+	// Seed with a feasible heuristic bound to prune early.
+	if s, err := EFT(in); err == nil {
+		best = s.Makespan + 1e-12
+	}
+
+	kindOf := func(mi int) Kind {
+		if mi < in.CPUs {
+			return CPU
+		}
+		return GPU
+	}
+
+	var dfs func(ti int, makespan float64)
+	dfs = func(ti int, makespan float64) {
+		if makespan >= best {
+			return
+		}
+		if ti == n {
+			best = makespan
+			copy(bestAssign, assign)
+			return
+		}
+		usedEmptyCPU, usedEmptyGPU := false, false
+		for mi := 0; mi < machines; mi++ {
+			kind := kindOf(mi)
+			// Symmetry breaking: identical empty machines of one kind are
+			// interchangeable; try only the first.
+			if loads[mi] == 0 {
+				if kind == CPU {
+					if usedEmptyCPU {
+						continue
+					}
+					usedEmptyCPU = true
+				} else {
+					if usedEmptyGPU {
+						continue
+					}
+					usedEmptyGPU = true
+				}
+			}
+			d := in.Tasks[ti].Time(kind)
+			loads[mi] += d
+			assign[ti] = mi
+			dfs(ti+1, math.Max(makespan, loads[mi]))
+			loads[mi] -= d
+		}
+	}
+	dfs(0, 0)
+	if math.IsInf(best, 1) {
+		return nil, fmt.Errorf("sched: brute force found no schedule")
+	}
+
+	s := NewSchedule("brute-force", in)
+	// Rebuild placements machine by machine in task order.
+	for ti := 0; ti < n; ti++ {
+		mi := bestAssign[ti]
+		if mi < in.CPUs {
+			s.place(in, ti, CPU, mi)
+		} else {
+			s.place(in, ti, GPU, mi-in.CPUs)
+		}
+	}
+	return s, s.Verify(in)
+}

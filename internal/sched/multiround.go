@@ -1,0 +1,66 @@
+package sched
+
+import "fmt"
+
+// MultiRound implements the paper's iterative allocation mode (§IV: the
+// allocation "can be done only once at the beginning of the execution or
+// iteratively until all tasks are executed"): tasks are released in
+// batches; each round runs the dual approximation on the released batch
+// with PEs carrying their accumulated loads from earlier rounds, which
+// lets the master adapt to tasks arriving over time.
+//
+// rounds <= 1 degenerates to the one-round DualApprox.
+func MultiRound(in *Instance, rounds int) (*Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if rounds <= 1 || len(in.Tasks) <= rounds {
+		s, err := DualApprox(in)
+		if err != nil {
+			return nil, err
+		}
+		s.Algorithm = "multi-round(1)"
+		return s, nil
+	}
+	out := NewSchedule(fmt.Sprintf("multi-round(%d)", rounds), in)
+	per := (len(in.Tasks) + rounds - 1) / rounds
+	for lo := 0; lo < len(in.Tasks); lo += per {
+		hi := lo + per
+		if hi > len(in.Tasks) {
+			hi = len(in.Tasks)
+		}
+		// Schedule the batch in isolation, then append each PE's batch
+		// sequence after its accumulated load.
+		batch := &Instance{CPUs: in.CPUs, GPUs: in.GPUs}
+		for i := lo; i < hi; i++ {
+			t := in.Tasks[i]
+			t.ID = i - lo
+			batch.Tasks = append(batch.Tasks, t)
+		}
+		bs, err := DualApprox(batch)
+		if err != nil {
+			return nil, err
+		}
+		// Keep per-PE order of the batch schedule.
+		type job struct {
+			task  int
+			start float64
+		}
+		perPE := map[[2]int][]job{}
+		for _, pl := range bs.Placements {
+			key := [2]int{int(pl.Kind), pl.PE}
+			perPE[key] = append(perPE[key], job{task: lo + pl.Task, start: pl.Start})
+		}
+		for key, jobs := range perPE {
+			for i := 1; i < len(jobs); i++ {
+				for j := i; j > 0 && jobs[j].start < jobs[j-1].start; j-- {
+					jobs[j], jobs[j-1] = jobs[j-1], jobs[j]
+				}
+			}
+			for _, jb := range jobs {
+				out.place(in, jb.task, Kind(key[0]), key[1])
+			}
+		}
+	}
+	return out, out.Verify(in)
+}

@@ -1,0 +1,96 @@
+package scoring
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"swdual/internal/alphabet"
+)
+
+// ParseNCBI reads a substitution matrix in the NCBI text format (the format
+// of the files shipped with BLAST, SSEARCH, SWIPE and CUDASW++): '#'
+// comment lines, then a header line of residue letters, then one row per
+// residue beginning with its letter. The returned matrix is re-indexed to
+// the given alphabet; letters present in the alphabet but missing from the
+// file score the file's minimum value.
+func ParseNCBI(name string, r io.Reader, a *alphabet.Alphabet) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var header []byte
+	raw := map[[2]byte]int{}
+	minV := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if header == nil {
+			for _, f := range fields {
+				if len(f) != 1 {
+					return nil, fmt.Errorf("scoring: NCBI header field %q is not a single letter", f)
+				}
+				header = append(header, f[0])
+			}
+			continue
+		}
+		if len(fields) != len(header)+1 || len(fields[0]) != 1 {
+			return nil, fmt.Errorf("scoring: NCBI row %q has %d fields, want %d", line, len(fields), len(header)+1)
+		}
+		rowLetter := fields[0][0]
+		for i, f := range fields[1:] {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("scoring: NCBI entry %q: %v", f, err)
+			}
+			raw[[2]byte{rowLetter, header[i]}] = v
+			if v < minV {
+				minV = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if header == nil {
+		return nil, fmt.Errorf("scoring: NCBI matrix %s is empty", name)
+	}
+	n := a.Len()
+	table := make([][]int8, n)
+	for i := range table {
+		table[i] = make([]int8, n)
+		for j := range table[i] {
+			v, ok := raw[[2]byte{a.Letter(byte(i)), a.Letter(byte(j))}]
+			if !ok {
+				v = minV
+			}
+			if v > 127 || v < -128 {
+				return nil, fmt.Errorf("scoring: NCBI entry %d out of int8 range", v)
+			}
+			table[i][j] = int8(v)
+		}
+	}
+	return NewMatrix(name, table)
+}
+
+// FormatNCBI writes the matrix in NCBI text format using the alphabet's
+// letters, suitable for consumption by other SW tools.
+func FormatNCBI(w io.Writer, m *Matrix, a *alphabet.Alphabet) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s (emitted by swdual)\n ", m.Name())
+	for j := 0; j < m.Size(); j++ {
+		fmt.Fprintf(bw, " %c ", a.Letter(byte(j)))
+	}
+	fmt.Fprintln(bw)
+	for i := 0; i < m.Size(); i++ {
+		fmt.Fprintf(bw, "%c", a.Letter(byte(i)))
+		for j := 0; j < m.Size(); j++ {
+			fmt.Fprintf(bw, " %2d", m.Score(byte(i), byte(j)))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

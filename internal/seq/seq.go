@@ -1,0 +1,134 @@
+// Package seq defines the in-memory representation of biological sequences
+// and sequence sets shared by every engine, the database formats and the
+// master-slave runtime.
+package seq
+
+import (
+	"fmt"
+	"sort"
+
+	"swdual/internal/alphabet"
+)
+
+// Sequence is one encoded biological sequence. Residues hold dense codes of
+// the set's alphabet (see package alphabet), not ASCII.
+type Sequence struct {
+	ID       string // accession / identifier (first word of a FASTA header)
+	Desc     string // rest of the FASTA header, may be empty
+	Residues []byte // encoded residues
+}
+
+// Len returns the number of residues.
+func (s *Sequence) Len() int { return len(s.Residues) }
+
+// Set is an ordered collection of sequences over one alphabet. The zero
+// value is an empty protein set.
+type Set struct {
+	Alpha *alphabet.Alphabet
+	Seqs  []Sequence
+}
+
+// NewSet returns an empty set over the given alphabet (protein if nil).
+func NewSet(a *alphabet.Alphabet) *Set {
+	if a == nil {
+		a = alphabet.Protein
+	}
+	return &Set{Alpha: a}
+}
+
+// Add appends a sequence built from ASCII residues, encoding them with the
+// set's alphabet.
+func (st *Set) Add(id, desc string, ascii []byte) error {
+	enc, err := st.Alpha.Encode(ascii)
+	if err != nil {
+		return fmt.Errorf("sequence %s: %w", id, err)
+	}
+	st.Seqs = append(st.Seqs, Sequence{ID: id, Desc: desc, Residues: enc})
+	return nil
+}
+
+// AddEncoded appends an already-encoded sequence without validation.
+func (st *Set) AddEncoded(id, desc string, residues []byte) {
+	st.Seqs = append(st.Seqs, Sequence{ID: id, Desc: desc, Residues: residues})
+}
+
+// Len returns the number of sequences in the set.
+func (st *Set) Len() int { return len(st.Seqs) }
+
+// TotalResidues returns the sum of sequence lengths; together with query
+// lengths it determines the dynamic-programming cell volume of a search.
+func (st *Set) TotalResidues() int64 {
+	var t int64
+	for i := range st.Seqs {
+		t += int64(len(st.Seqs[i].Residues))
+	}
+	return t
+}
+
+// Stats summarizes a set the way the paper's Table III does.
+type Stats struct {
+	Count         int
+	TotalResidues int64
+	MinLen        int
+	MaxLen        int
+	MeanLen       float64
+}
+
+// Stats computes summary statistics over the set.
+func (st *Set) Stats() Stats {
+	s := Stats{Count: len(st.Seqs)}
+	if s.Count == 0 {
+		return s
+	}
+	s.MinLen = st.Seqs[0].Len()
+	for i := range st.Seqs {
+		l := st.Seqs[i].Len()
+		s.TotalResidues += int64(l)
+		if l < s.MinLen {
+			s.MinLen = l
+		}
+		if l > s.MaxLen {
+			s.MaxLen = l
+		}
+	}
+	s.MeanLen = float64(s.TotalResidues) / float64(s.Count)
+	return s
+}
+
+// SortByLengthAsc orders sequences by increasing length (stable on ID).
+// CUDASW++-style GPU kernels sort subjects this way to minimize divergence
+// inside warps.
+func (st *Set) SortByLengthAsc() {
+	sort.SliceStable(st.Seqs, func(i, j int) bool {
+		if li, lj := st.Seqs[i].Len(), st.Seqs[j].Len(); li != lj {
+			return li < lj
+		}
+		return st.Seqs[i].ID < st.Seqs[j].ID
+	})
+}
+
+// SortByLengthDesc orders sequences by decreasing length.
+func (st *Set) SortByLengthDesc() {
+	sort.SliceStable(st.Seqs, func(i, j int) bool {
+		if li, lj := st.Seqs[i].Len(), st.Seqs[j].Len(); li != lj {
+			return li > lj
+		}
+		return st.Seqs[i].ID < st.Seqs[j].ID
+	})
+}
+
+// Slice returns a shallow sub-set covering Seqs[lo:hi].
+func (st *Set) Slice(lo, hi int) *Set {
+	return &Set{Alpha: st.Alpha, Seqs: st.Seqs[lo:hi]}
+}
+
+// Clone returns a deep copy of the set.
+func (st *Set) Clone() *Set {
+	out := &Set{Alpha: st.Alpha, Seqs: make([]Sequence, len(st.Seqs))}
+	for i := range st.Seqs {
+		r := make([]byte, len(st.Seqs[i].Residues))
+		copy(r, st.Seqs[i].Residues)
+		out.Seqs[i] = Sequence{ID: st.Seqs[i].ID, Desc: st.Seqs[i].Desc, Residues: r}
+	}
+	return out
+}

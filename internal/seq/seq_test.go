@@ -1,0 +1,93 @@
+package seq
+
+import (
+	"testing"
+
+	"swdual/internal/alphabet"
+)
+
+func build(t *testing.T) *Set {
+	t.Helper()
+	s := NewSet(alphabet.Protein)
+	for _, rec := range []struct {
+		id  string
+		res string
+	}{
+		{"b", "ARNDC"},
+		{"a", "AR"},
+		{"c", "ARNDCQEGH"},
+		{"d", "AR"},
+	} {
+		if err := s.Add(rec.id, "", []byte(rec.res)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestNewSetDefaultsToProtein(t *testing.T) {
+	if NewSet(nil).Alpha != alphabet.Protein {
+		t.Fatal("nil alphabet should default to protein")
+	}
+}
+
+func TestAddRejectsInvalid(t *testing.T) {
+	s := NewSet(alphabet.Protein)
+	if err := s.Add("bad", "", []byte("AR#")); err == nil {
+		t.Fatal("expected encode error")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := build(t)
+	st := s.Stats()
+	if st.Count != 4 || st.MinLen != 2 || st.MaxLen != 9 || st.TotalResidues != 18 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.MeanLen != 4.5 {
+		t.Fatalf("mean %v", st.MeanLen)
+	}
+	var empty Set
+	if got := empty.Stats(); got.Count != 0 || got.MaxLen != 0 {
+		t.Fatalf("empty stats %+v", got)
+	}
+}
+
+func TestSortByLength(t *testing.T) {
+	s := build(t)
+	s.SortByLengthAsc()
+	// Ties break on ID: "a" before "d".
+	wantAsc := []string{"a", "d", "b", "c"}
+	for i, id := range wantAsc {
+		if s.Seqs[i].ID != id {
+			t.Fatalf("asc order %v, want %v at %d", s.Seqs[i].ID, id, i)
+		}
+	}
+	s.SortByLengthDesc()
+	wantDesc := []string{"c", "b", "a", "d"}
+	for i, id := range wantDesc {
+		if s.Seqs[i].ID != id {
+			t.Fatalf("desc order %v, want %v at %d", s.Seqs[i].ID, id, i)
+		}
+	}
+}
+
+func TestSliceAndClone(t *testing.T) {
+	s := build(t)
+	sub := s.Slice(1, 3)
+	if sub.Len() != 2 || sub.Seqs[0].ID != "a" {
+		t.Fatalf("slice %+v", sub.Seqs)
+	}
+	c := s.Clone()
+	c.Seqs[0].Residues[0] = 99
+	if s.Seqs[0].Residues[0] == 99 {
+		t.Fatal("clone shares residue storage")
+	}
+}
+
+func TestTotalResidues(t *testing.T) {
+	s := build(t)
+	if s.TotalResidues() != 18 {
+		t.Fatalf("total %d", s.TotalResidues())
+	}
+}

@@ -1,0 +1,327 @@
+// Package seqdb implements the paper's binary sequence-database format
+// (§IV). FASTA files are plain text and cannot be read at a specific
+// sequence position; this format adds a header and a fixed-stride index so
+// both master and workers can read any sequence directly and size memory
+// allocations up front.
+//
+// File layout (all integers little-endian):
+//
+//	header   : magic "SWDB" | version u32 | alphabet u32 | count u64 |
+//	           totalResidues u64 | indexOffset u64 | dataCRC32 u32
+//	data     : encoded residues of every sequence, concatenated
+//	names    : per sequence, id + 0x00 + description
+//	index    : count entries of {dataOff u64, dataLen u32, nameOff u64, nameLen u32}
+package seqdb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/seq"
+)
+
+const (
+	magic       = "SWDB"
+	version     = 1
+	headerSize  = 4 + 4 + 4 + 8 + 8 + 8 + 4
+	indexStride = 8 + 4 + 8 + 4
+)
+
+// Alphabet identifiers stored in the header.
+const (
+	alphaProtein = iota
+	alphaDNA
+	alphaRNA
+)
+
+func alphaID(a *alphabet.Alphabet) (uint32, error) {
+	switch a.Name() {
+	case "protein":
+		return alphaProtein, nil
+	case "dna":
+		return alphaDNA, nil
+	case "rna":
+		return alphaRNA, nil
+	}
+	return 0, fmt.Errorf("seqdb: unsupported alphabet %q", a.Name())
+}
+
+func alphaByID(id uint32) (*alphabet.Alphabet, error) {
+	switch id {
+	case alphaProtein:
+		return alphabet.Protein, nil
+	case alphaDNA:
+		return alphabet.DNA, nil
+	case alphaRNA:
+		return alphabet.RNA, nil
+	}
+	return nil, fmt.Errorf("seqdb: unknown alphabet id %d", id)
+}
+
+type indexEntry struct {
+	dataOff uint64
+	dataLen uint32
+	nameOff uint64
+	nameLen uint32
+}
+
+// Write serializes a set into the binary format on ws.
+func Write(ws io.WriteSeeker, set *seq.Set) error {
+	aid, err := alphaID(set.Alpha)
+	if err != nil {
+		return err
+	}
+	// Reserve the header; it is rewritten once offsets are known.
+	if _, err := ws.Seek(headerSize, io.SeekStart); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(ws, 1<<20)
+	crc := crc32.NewIEEE()
+	entries := make([]indexEntry, len(set.Seqs))
+	off := uint64(headerSize)
+	var total uint64
+	for i := range set.Seqs {
+		r := set.Seqs[i].Residues
+		entries[i].dataOff = off
+		entries[i].dataLen = uint32(len(r))
+		if _, err := bw.Write(r); err != nil {
+			return err
+		}
+		crc.Write(r)
+		off += uint64(len(r))
+		total += uint64(len(r))
+	}
+	for i := range set.Seqs {
+		name := nameBlob(&set.Seqs[i])
+		entries[i].nameOff = off
+		entries[i].nameLen = uint32(len(name))
+		if _, err := bw.Write(name); err != nil {
+			return err
+		}
+		off += uint64(len(name))
+	}
+	indexOffset := off
+	var buf [indexStride]byte
+	for _, e := range entries {
+		binary.LittleEndian.PutUint64(buf[0:], e.dataOff)
+		binary.LittleEndian.PutUint32(buf[8:], e.dataLen)
+		binary.LittleEndian.PutUint64(buf[12:], e.nameOff)
+		binary.LittleEndian.PutUint32(buf[20:], e.nameLen)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Rewrite the header with final values.
+	if _, err := ws.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	var hdr [headerSize]byte
+	copy(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	binary.LittleEndian.PutUint32(hdr[8:], aid)
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(set.Seqs)))
+	binary.LittleEndian.PutUint64(hdr[20:], total)
+	binary.LittleEndian.PutUint64(hdr[28:], indexOffset)
+	binary.LittleEndian.PutUint32(hdr[36:], crc.Sum32())
+	_, err = ws.Write(hdr[:])
+	return err
+}
+
+func nameBlob(s *seq.Sequence) []byte {
+	b := make([]byte, 0, len(s.ID)+1+len(s.Desc))
+	b = append(b, s.ID...)
+	b = append(b, 0)
+	b = append(b, s.Desc...)
+	return b
+}
+
+// Create writes the set to a new file at path.
+func Create(path string, set *seq.Set) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, set); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// File provides random access to a database file. It is safe for
+// concurrent readers: all reads go through ReadAt.
+type File struct {
+	ra            io.ReaderAt
+	closer        io.Closer
+	alpha         *alphabet.Alphabet
+	count         int
+	totalResidues uint64
+	indexOffset   uint64
+	dataCRC       uint32
+}
+
+// Open opens a database file for random access.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	db, err := NewFile(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	db.closer = f
+	return db, nil
+}
+
+// NewFile builds a File over any io.ReaderAt containing the format.
+func NewFile(ra io.ReaderAt) (*File, error) {
+	var hdr [headerSize]byte
+	if _, err := ra.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("seqdb: short header: %w", err)
+	}
+	if string(hdr[0:4]) != magic {
+		return nil, fmt.Errorf("seqdb: bad magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
+		return nil, fmt.Errorf("seqdb: unsupported version %d", v)
+	}
+	alpha, err := alphaByID(binary.LittleEndian.Uint32(hdr[8:]))
+	if err != nil {
+		return nil, err
+	}
+	return &File{
+		ra:            ra,
+		alpha:         alpha,
+		count:         int(binary.LittleEndian.Uint64(hdr[12:])),
+		totalResidues: binary.LittleEndian.Uint64(hdr[20:]),
+		indexOffset:   binary.LittleEndian.Uint64(hdr[28:]),
+		dataCRC:       binary.LittleEndian.Uint32(hdr[36:]),
+	}, nil
+}
+
+// Close releases the underlying file, if any.
+func (f *File) Close() error {
+	if f.closer != nil {
+		return f.closer.Close()
+	}
+	return nil
+}
+
+// Count returns the number of sequences.
+func (f *File) Count() int { return f.count }
+
+// TotalResidues returns the total residue count recorded in the header.
+func (f *File) TotalResidues() uint64 { return f.totalResidues }
+
+// Alphabet returns the database alphabet.
+func (f *File) Alphabet() *alphabet.Alphabet { return f.alpha }
+
+func (f *File) entry(i int) (indexEntry, error) {
+	if i < 0 || i >= f.count {
+		return indexEntry{}, fmt.Errorf("seqdb: sequence index %d out of range [0,%d)", i, f.count)
+	}
+	var buf [indexStride]byte
+	if _, err := f.ra.ReadAt(buf[:], int64(f.indexOffset)+int64(i)*indexStride); err != nil {
+		return indexEntry{}, fmt.Errorf("seqdb: reading index entry %d: %w", i, err)
+	}
+	return indexEntry{
+		dataOff: binary.LittleEndian.Uint64(buf[0:]),
+		dataLen: binary.LittleEndian.Uint32(buf[8:]),
+		nameOff: binary.LittleEndian.Uint64(buf[12:]),
+		nameLen: binary.LittleEndian.Uint32(buf[20:]),
+	}, nil
+}
+
+// SequenceLen returns the residue count of sequence i without reading its
+// data — the property the paper highlights for up-front memory allocation.
+func (f *File) SequenceLen(i int) (int, error) {
+	e, err := f.entry(i)
+	if err != nil {
+		return 0, err
+	}
+	return int(e.dataLen), nil
+}
+
+// ReadSequence reads sequence i (residues and name) by random access.
+func (f *File) ReadSequence(i int) (seq.Sequence, error) {
+	e, err := f.entry(i)
+	if err != nil {
+		return seq.Sequence{}, err
+	}
+	residues := make([]byte, e.dataLen)
+	if _, err := f.ra.ReadAt(residues, int64(e.dataOff)); err != nil {
+		return seq.Sequence{}, fmt.Errorf("seqdb: reading sequence %d: %w", i, err)
+	}
+	name := make([]byte, e.nameLen)
+	if _, err := f.ra.ReadAt(name, int64(e.nameOff)); err != nil {
+		return seq.Sequence{}, fmt.Errorf("seqdb: reading name %d: %w", i, err)
+	}
+	id, desc := splitName(name)
+	return seq.Sequence{ID: id, Desc: desc, Residues: residues}, nil
+}
+
+func splitName(b []byte) (id, desc string) {
+	if i := bytes.IndexByte(b, 0); i >= 0 {
+		return string(b[:i]), string(b[i+1:])
+	}
+	return string(b), ""
+}
+
+// ReadAll loads the whole database into a seq.Set.
+func (f *File) ReadAll() (*seq.Set, error) {
+	set := seq.NewSet(f.alpha)
+	set.Seqs = make([]seq.Sequence, 0, f.count)
+	for i := 0; i < f.count; i++ {
+		s, err := f.ReadSequence(i)
+		if err != nil {
+			return nil, err
+		}
+		set.Seqs = append(set.Seqs, s)
+	}
+	return set, nil
+}
+
+// ReadRange loads sequences [lo,hi) into a set; this is the random-access
+// chunked read pattern the workers use.
+func (f *File) ReadRange(lo, hi int) (*seq.Set, error) {
+	if lo < 0 || hi > f.count || lo > hi {
+		return nil, fmt.Errorf("seqdb: range [%d,%d) out of bounds [0,%d)", lo, hi, f.count)
+	}
+	set := seq.NewSet(f.alpha)
+	set.Seqs = make([]seq.Sequence, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		s, err := f.ReadSequence(i)
+		if err != nil {
+			return nil, err
+		}
+		set.Seqs = append(set.Seqs, s)
+	}
+	return set, nil
+}
+
+// Verify re-reads the data section and checks it against the stored CRC32.
+func (f *File) Verify() error {
+	crc := crc32.NewIEEE()
+	for i := 0; i < f.count; i++ {
+		s, err := f.ReadSequence(i)
+		if err != nil {
+			return err
+		}
+		crc.Write(s.Residues)
+	}
+	if crc.Sum32() != f.dataCRC {
+		return fmt.Errorf("seqdb: data CRC mismatch: stored %08x computed %08x", f.dataCRC, crc.Sum32())
+	}
+	return nil
+}

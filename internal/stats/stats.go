@@ -1,0 +1,90 @@
+// Package stats provides the small numeric helpers shared by the
+// benchmark harness and reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Min returns the minimum (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// GCUPS converts a cell count and seconds to billion cell updates/second.
+func GCUPS(cells int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(cells) / seconds / 1e9
+}
+
+// PctDelta returns the signed percentage difference of got vs want.
+func PctDelta(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	return (got - want) / want * 100
+}
+
+// FmtSeconds renders seconds with sensible precision.
+func FmtSeconds(s float64) string {
+	switch {
+	case s >= 1000:
+		return fmt.Sprintf("%.1f", s)
+	case s >= 10:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.3f", s)
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("mean %v", Mean(xs))
+	}
+	if got := StdDev(xs); math.Abs(got-2.138) > 0.001 {
+		t.Fatalf("stddev %v", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("empty-input conventions")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max %v %v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty min/max")
+	}
+}
+
+func TestGCUPS(t *testing.T) {
+	if GCUPS(5e9, 2.5) != 2 {
+		t.Fatal("GCUPS")
+	}
+	if GCUPS(1, 0) != 0 {
+		t.Fatal("zero time")
+	}
+}
+
+func TestPctDelta(t *testing.T) {
+	if PctDelta(110, 100) != 10 {
+		t.Fatal("delta up")
+	}
+	if PctDelta(90, 100) != -10 {
+		t.Fatal("delta down")
+	}
+	if PctDelta(5, 0) != 0 {
+		t.Fatal("zero base")
+	}
+}
+
+func TestFmtSeconds(t *testing.T) {
+	cases := map[float64]string{
+		12345.6: "12345.6",
+		123.456: "123.46",
+		1.23456: "1.235",
+	}
+	for in, want := range cases {
+		if got := FmtSeconds(in); got != want {
+			t.Fatalf("FmtSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		// Clamp to a range whose sums cannot overflow float64.
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e12))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9*math.Abs(Min(xs))-1e-9 && m <= Max(xs)+1e-9*math.Abs(Max(xs))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

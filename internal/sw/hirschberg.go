@@ -1,0 +1,286 @@
+package sw
+
+// Linear-space local alignment with full traceback, after Hirschberg
+// (1975) and Myers & Miller (1988). The paper's reference [6] (de O.
+// Sandes & de Melo, IPDPS 2011) is exactly this problem — aligning huge
+// sequences in linear space — so the library provides it as a first-class
+// operation: AlignHirschberg produces the same alignment quality as
+// Align while using O(m+n) working memory instead of O(m*n).
+//
+// The implementation is the affine-gap divide-and-conquer of Myers &
+// Miller translated to score maximization: locate the local alignment's
+// end by a forward linear-space pass, its start by a backward pass, then
+// assemble the in-between global alignment recursively, splitting the
+// query in half and joining on either a diagonal cell (CC+RR) or a
+// vertical gap spanning the split row (DD+SS with the double-charged gap
+// open credited back).
+
+// AlignHirschberg computes an optimal local alignment with traceback in
+// linear space. The result is equivalent to Align (same score; an
+// equally optimal path).
+func AlignHirschberg(p Params, query, subject []byte) *Alignment {
+	score, qe, se := ScoreWithEnd(p, query, subject)
+	if score == 0 {
+		return &Alignment{}
+	}
+	// Backward pass over reversed prefixes locates the start cell.
+	rq := reversed(query[:qe])
+	rs := reversed(subject[:se])
+	rscore, rqe, rse := ScoreWithEnd(p, rq, rs)
+	if rscore != score {
+		// The two passes must agree on the optimum; a mismatch would be
+		// a bug, fall back to the quadratic-space oracle.
+		return Align(p, query, subject)
+	}
+	qs, ss := qe-rqe, se-rse
+	mm := &mmAligner{p: p}
+	g := p.Gaps.Start
+	got := mm.diff(query[qs:qe], subject[ss:se], g, g)
+	al := &Alignment{
+		Score:      got,
+		QueryStart: qs,
+		QueryEnd:   qe,
+		SubjStart:  ss,
+		SubjEnd:    se,
+		QueryRow:   mm.qrow,
+		SubjRow:    mm.srow,
+	}
+	for k := range al.QueryRow {
+		switch {
+		case al.QueryRow[k] == GapCode || al.SubjRow[k] == GapCode:
+			al.Gaps++
+		case al.QueryRow[k] == al.SubjRow[k]:
+			al.Matches++
+			al.Positives++
+		case p.Matrix.Score(al.QueryRow[k], al.SubjRow[k]) > 0:
+			al.Positives++
+		}
+	}
+	return al
+}
+
+// AlignGlobal computes an optimal global (Needleman-Wunsch style,
+// affine-gap) alignment of the two whole sequences in linear space using
+// the same Myers-Miller machinery.
+func AlignGlobal(p Params, query, subject []byte) *Alignment {
+	mm := &mmAligner{p: p}
+	g := p.Gaps.Start
+	score := mm.diff(query, subject, g, g)
+	al := &Alignment{
+		Score:      score,
+		QueryStart: 0,
+		QueryEnd:   len(query),
+		SubjStart:  0,
+		SubjEnd:    len(subject),
+		QueryRow:   mm.qrow,
+		SubjRow:    mm.srow,
+	}
+	for k := range al.QueryRow {
+		switch {
+		case al.QueryRow[k] == GapCode || al.SubjRow[k] == GapCode:
+			al.Gaps++
+		case al.QueryRow[k] == al.SubjRow[k]:
+			al.Matches++
+			al.Positives++
+		case p.Matrix.Score(al.QueryRow[k], al.SubjRow[k]) > 0:
+			al.Positives++
+		}
+	}
+	return al
+}
+
+func reversed(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		out[len(b)-1-i] = v
+	}
+	return out
+}
+
+// mmAligner carries the emitted alignment rows and scratch vectors.
+type mmAligner struct {
+	p    Params
+	qrow []byte
+	srow []byte
+}
+
+func (a *mmAligner) emitDiag(q, s byte) {
+	a.qrow = append(a.qrow, q)
+	a.srow = append(a.srow, s)
+}
+
+// emitDel emits k query residues aligned to gaps (vertical gap).
+func (a *mmAligner) emitDel(q []byte) {
+	for _, r := range q {
+		a.qrow = append(a.qrow, r)
+		a.srow = append(a.srow, GapCode)
+	}
+}
+
+// emitIns emits k subject residues aligned to gaps (horizontal gap).
+func (a *mmAligner) emitIns(s []byte) {
+	for _, r := range s {
+		a.qrow = append(a.qrow, GapCode)
+		a.srow = append(a.srow, r)
+	}
+}
+
+// gapScore is the (negative) score of a gap of length k with the normal
+// open penalty.
+func (a *mmAligner) gapScore(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	return -(a.p.Gaps.Start + k*a.p.Gaps.Extend)
+}
+
+// diff globally aligns q against s and returns the score. tb and te are
+// the effective gap-open penalties for vertical gaps touching the top
+// and bottom boundaries (0 when the parent recursion already opened the
+// gap across the boundary, Gaps.Start otherwise).
+func (a *mmAligner) diff(q, s []byte, tb, te int) int {
+	g, h := a.p.Gaps.Start, a.p.Gaps.Extend
+	m, n := len(q), len(s)
+	switch {
+	case n == 0:
+		if m > 0 {
+			a.emitDel(q)
+			open := tb
+			if te < open {
+				open = te
+			}
+			return -(open + h*m)
+		}
+		return 0
+	case m == 0:
+		a.emitIns(s)
+		return a.gapScore(n)
+	case m == 1:
+		return a.diffSingle(q[0], s, tb, te)
+	}
+	i1 := m / 2
+	cc, dd := a.forward(q[:i1], s, tb)
+	rr, ss := a.backward(q[i1:], s, te)
+	// Join: diagonal (type 1) or a vertical gap spanning the split rows
+	// (type 2, rows i1-1 and i1 of q both deleted, gap open credited
+	// back once).
+	bestJ, bestType, best := 0, 1, negInf
+	for j := 0; j <= n; j++ {
+		if v := cc[j] + rr[j]; v > best {
+			best, bestJ, bestType = v, j, 1
+		}
+		if v := dd[j] + ss[j] + g; v > best {
+			best, bestJ, bestType = v, j, 2
+		}
+	}
+	if bestType == 1 {
+		a.diff(q[:i1], s[:bestJ], tb, g)
+		a.diff(q[i1:], s[bestJ:], g, te)
+		return best
+	}
+	// Type 2: q[i1-1] and q[i1] are both gap columns of one vertical gap.
+	a.diff(q[:i1-1], s[:bestJ], tb, 0)
+	a.emitDel(q[i1-1 : i1+1])
+	a.diff(q[i1+1:], s[bestJ:], 0, te)
+	return best
+}
+
+// diffSingle handles the M == 1 base case explicitly.
+func (a *mmAligner) diffSingle(q0 byte, s []byte, tb, te int) int {
+	h := a.p.Gaps.Extend
+	n := len(s)
+	// Option A: delete q0 entirely (vertical gap of one, merged with the
+	// cheaper boundary) and insert all of s.
+	open := tb
+	if te < open {
+		open = te
+	}
+	bestScore := -(open + h) + a.gapScore(n)
+	bestJ := -1
+	// Option B: align q0 to s[j], surrounding s residues as horizontal
+	// gaps.
+	for j := 0; j < n; j++ {
+		v := a.gapScore(j) + a.p.Matrix.Score(q0, s[j]) + a.gapScore(n-1-j)
+		if v > bestScore {
+			bestScore, bestJ = v, j
+		}
+	}
+	if bestJ < 0 {
+		a.emitDel([]byte{q0})
+		a.emitIns(s)
+		return bestScore
+	}
+	a.emitIns(s[:bestJ])
+	a.emitDiag(q0, s[bestJ])
+	a.emitIns(s[bestJ+1:])
+	return bestScore
+}
+
+// forward computes CC (global score of q vs s[0..j)) and DD (same but
+// ending in an open vertical gap) for the whole block q, with tb as the
+// top-boundary vertical open penalty.
+func (a *mmAligner) forward(q, s []byte, tb int) (cc, dd []int) {
+	g, h := a.p.Gaps.Start, a.p.Gaps.Extend
+	n := len(s)
+	cc = make([]int, n+1)
+	dd = make([]int, n+1)
+	cc[0] = 0
+	t := -g
+	for j := 1; j <= n; j++ {
+		t -= h
+		cc[j] = t
+		dd[j] = t - g // opening a vertical gap after a horizontal one re-opens
+	}
+	dd[0] = negInf
+	t = -tb
+	for i := 1; i <= len(q); i++ {
+		row := a.p.Matrix.Row(q[i-1])
+		sPrev := cc[0] // CC[i-1][0]
+		t -= h
+		cc[0] = t
+		// Vertical gap at column 0 continues from the top boundary.
+		dd[0] = t
+		e := negInf
+		for j := 1; j <= n; j++ {
+			// E (horizontal gap) from the current row.
+			if v := cc[j-1] - g; v > e {
+				e = v
+			}
+			e -= h
+			// DD from the previous row.
+			dv := dd[j]
+			if v := cc[j] - g; v > dv {
+				dv = v
+			}
+			dv -= h
+			v := sPrev + int(row[s[j-1]])
+			if e > v {
+				v = e
+			}
+			if dv > v {
+				v = dv
+			}
+			sPrev = cc[j]
+			cc[j] = v
+			dd[j] = dv
+		}
+	}
+	return cc, dd
+}
+
+// backward is forward on the reversed block: rr[j] is the global score of
+// q (the bottom block) vs s[j..n), ss[j] the same ending (in forward
+// orientation: starting) with an open vertical gap at the split row.
+func (a *mmAligner) backward(q, s []byte, te int) (rr, ss []int) {
+	rq := reversed(q)
+	rs := reversed(s)
+	cc, dd := a.forward(rq, rs, te)
+	n := len(s)
+	rr = make([]int, n+1)
+	ss = make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		rr[j] = cc[n-j]
+		ss[j] = dd[n-j]
+	}
+	return rr, ss
+}

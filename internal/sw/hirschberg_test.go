@@ -1,0 +1,225 @@
+package sw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swdual/internal/alphabet"
+)
+
+// rescoreGlobal recomputes an alignment's score from its emitted rows
+// under the affine gap model.
+func rescoreGlobal(p Params, al *Alignment) int {
+	got := 0
+	inGap := false
+	for col := range al.QueryRow {
+		qc, sc := al.QueryRow[col], al.SubjRow[col]
+		if qc == GapCode || sc == GapCode {
+			if !inGap {
+				got -= p.Gaps.Start
+			}
+			got -= p.Gaps.Extend
+			inGap = true
+			continue
+		}
+		// Two adjacent gaps in different sequences are separate gaps;
+		// reset on any diagonal column.
+		inGap = false
+		got += p.Matrix.Score(qc, sc)
+	}
+	return got
+}
+
+// rescoreStrict treats a switch between gap-in-query and gap-in-subject
+// as opening a new gap (matching the DP model, which cannot produce
+// adjacent opposite gaps on an optimal path but may on ties).
+func rescoreStrict(p Params, al *Alignment) int {
+	got := 0
+	lastGap := byte(0) // 0 = none, 1 = gap in query, 2 = gap in subject
+	for col := range al.QueryRow {
+		qc, sc := al.QueryRow[col], al.SubjRow[col]
+		switch {
+		case qc == GapCode:
+			if lastGap != 1 {
+				got -= p.Gaps.Start
+			}
+			got -= p.Gaps.Extend
+			lastGap = 1
+		case sc == GapCode:
+			if lastGap != 2 {
+				got -= p.Gaps.Start
+			}
+			got -= p.Gaps.Extend
+			lastGap = 2
+		default:
+			got += p.Matrix.Score(qc, sc)
+			lastGap = 0
+		}
+	}
+	return got
+}
+
+func TestHirschbergMatchesAlign(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 150; iter++ {
+		a := randSeq(rng, 1+rng.Intn(120))
+		b := randSeq(rng, 1+rng.Intn(120))
+		want := Score(p, a, b)
+		al := AlignHirschberg(p, a, b)
+		if al.Score != want {
+			t.Fatalf("iter %d: hirschberg score %d, oracle %d (|a|=%d |b|=%d)", iter, al.Score, want, len(a), len(b))
+		}
+		if want == 0 {
+			continue
+		}
+		if got := rescoreStrict(p, al); got != al.Score {
+			t.Fatalf("iter %d: emitted path rescores to %d, claimed %d", iter, got, al.Score)
+		}
+	}
+}
+
+func TestHirschbergSelfAlignment(t *testing.T) {
+	p := DefaultParams()
+	q := alphabet.Protein.MustEncode("MKWVTFISLLFLFSSAYSRGVFRR")
+	al := AlignHirschberg(p, q, q)
+	if al.Identity() != 1.0 {
+		t.Fatalf("identity %v", al.Identity())
+	}
+	if al.Score != p.Matrix.SelfScore(q) {
+		t.Fatalf("score %d", al.Score)
+	}
+	if al.QueryStart != 0 || al.QueryEnd != len(q) {
+		t.Fatalf("span [%d,%d)", al.QueryStart, al.QueryEnd)
+	}
+}
+
+func TestHirschbergLongGap(t *testing.T) {
+	p := DefaultParams()
+	full := alphabet.Protein.MustEncode("MKWVTFISLLWWWWWFSSAYSRGVFRRMKWVTFISLL")
+	cut := append(append([]byte{}, full[:10]...), full[15:]...) // remove WWWWW
+	al := AlignHirschberg(p, full, cut)
+	if want := Score(p, full, cut); al.Score != want {
+		t.Fatalf("score %d want %d", al.Score, want)
+	}
+	if got := rescoreStrict(p, al); got != al.Score {
+		t.Fatalf("path rescores to %d", got)
+	}
+	if al.Gaps == 0 {
+		t.Fatal("expected gap columns")
+	}
+}
+
+func TestHirschbergZeroScore(t *testing.T) {
+	p := DefaultParams()
+	w := alphabet.Protein.MustEncode("W")
+	c := alphabet.Protein.MustEncode("C")
+	al := AlignHirschberg(p, w, c)
+	if al.Score != 0 || al.Length() != 0 {
+		t.Fatalf("zero-score alignment %+v", al)
+	}
+}
+
+func TestAlignGlobalIdentical(t *testing.T) {
+	p := DefaultParams()
+	q := alphabet.Protein.MustEncode("ARNDCQEGHILKMFPSTWYV")
+	al := AlignGlobal(p, q, q)
+	if al.Score != p.Matrix.SelfScore(q) {
+		t.Fatalf("global self score %d", al.Score)
+	}
+	if al.Gaps != 0 || al.Matches != len(q) {
+		t.Fatalf("global self alignment %+v", al)
+	}
+}
+
+// nwFullMatrix is a quadratic-space global affine aligner used as the
+// oracle for AlignGlobal.
+func nwFullMatrix(p Params, a, b []byte) int {
+	g, h := p.Gaps.Start, p.Gaps.Extend
+	m, n := len(a), len(b)
+	H := make([][]int, m+1)
+	E := make([][]int, m+1)
+	F := make([][]int, m+1)
+	for i := range H {
+		H[i] = make([]int, n+1)
+		E[i] = make([]int, n+1)
+		F[i] = make([]int, n+1)
+	}
+	for i := 0; i <= m; i++ {
+		for j := 0; j <= n; j++ {
+			E[i][j], F[i][j] = negInf, negInf
+			if i == 0 && j == 0 {
+				continue
+			}
+			H[i][j] = negInf
+			if j > 0 {
+				e := H[i][j-1] - g - h
+				if E[i][j-1]-h > e {
+					e = E[i][j-1] - h
+				}
+				E[i][j] = e
+				if e > H[i][j] {
+					H[i][j] = e
+				}
+			}
+			if i > 0 {
+				f := H[i-1][j] - g - h
+				if F[i-1][j]-h > f {
+					f = F[i-1][j] - h
+				}
+				F[i][j] = f
+				if f > H[i][j] {
+					H[i][j] = f
+				}
+			}
+			if i > 0 && j > 0 {
+				if v := H[i-1][j-1] + p.Matrix.Score(a[i-1], b[j-1]); v > H[i][j] {
+					H[i][j] = v
+				}
+			}
+		}
+	}
+	return H[m][n]
+}
+
+func TestAlignGlobalMatchesFullMatrix(t *testing.T) {
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 100; iter++ {
+		a := randSeq(rng, 1+rng.Intn(50))
+		b := randSeq(rng, 1+rng.Intn(50))
+		want := nwFullMatrix(p, a, b)
+		al := AlignGlobal(p, a, b)
+		if al.Score != want {
+			t.Fatalf("iter %d: global %d, oracle %d (|a|=%d |b|=%d)", iter, al.Score, want, len(a), len(b))
+		}
+		if got := rescoreStrict(p, al); got != al.Score {
+			t.Fatalf("iter %d: path rescores to %d, claimed %d", iter, got, al.Score)
+		}
+	}
+}
+
+// Property: Hirschberg agrees with the oracle on arbitrary inputs and its
+// emitted path always rescores to its claimed score.
+func TestQuickHirschberg(t *testing.T) {
+	p := DefaultParams()
+	f := func(ar, br []byte) bool {
+		a := clamp(ar, 80)
+		b := clamp(br, 80)
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		al := AlignHirschberg(p, a, b)
+		if al.Score != Score(p, a, b) {
+			return false
+		}
+		if al.Score == 0 {
+			return true
+		}
+		return rescoreStrict(p, al) == al.Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

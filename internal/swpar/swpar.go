@@ -1,0 +1,210 @@
+// Package swpar implements the paper's fine-grained parallelization of a
+// single Smith-Waterman comparison (§II.C, Figure 2): the similarity
+// matrix is split into column blocks, one per processing element; PE p
+// computes its block row band by row band and passes its border column
+// values to PE p+1, so the computation sweeps the matrix as a wavefront.
+//
+// This is the strategy each SWDUAL worker uses internally to accelerate
+// one long comparison; the coarse-grained distribution across workers is
+// package master's job. Scores are identical to the scalar oracle of
+// package sw.
+package swpar
+
+import (
+	"sync"
+
+	"swdual/internal/seq"
+	"swdual/internal/sw"
+)
+
+const negInf = int(-1) << 40
+
+// border carries the cells a worker hands to its right neighbour: for
+// each row of the band, H and E at the worker's last column, plus the H
+// of the previous row (the diagonal input of the neighbour's first
+// column).
+type border struct {
+	firstRow int
+	h        []int // H[i][c-1] for each row i of the band
+	e        []int // E[i][c-1]
+}
+
+// Config tunes the fine-grained engine.
+type Config struct {
+	// Workers is the number of column blocks / goroutines (default 4).
+	Workers int
+	// RowBand is the number of rows exchanged per border message
+	// (default 64): larger bands amortize channel overhead, smaller
+	// bands start the wavefront earlier.
+	RowBand int
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.RowBand <= 0 {
+		c.RowBand = 64
+	}
+}
+
+// Score computes the affine-gap local alignment score of query vs subject
+// with the fine-grained column-block wavefront.
+func Score(p sw.Params, query, subject []byte, cfg Config) int {
+	cfg.defaults()
+	m, n := len(query), len(subject)
+	if m == 0 || n == 0 {
+		return 0
+	}
+	workers := cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	// Column ranges per worker: [starts[w], starts[w+1]).
+	starts := make([]int, workers+1)
+	for w := 0; w <= workers; w++ {
+		starts[w] = w * n / workers
+	}
+	// Border channels between neighbours, buffered so the pipeline can
+	// run ahead a few bands.
+	chans := make([]chan border, workers+1)
+	for w := range chans {
+		chans[w] = make(chan border, 4)
+	}
+	// Worker 0's "left border" is the all-zero column 0 of the DP
+	// matrix; synthesize its messages.
+	go func() {
+		for lo := 1; lo <= m; lo += cfg.RowBand {
+			hi := lo + cfg.RowBand
+			if hi > m+1 {
+				hi = m + 1
+			}
+			b := border{firstRow: lo, h: make([]int, hi-lo), e: make([]int, hi-lo)}
+			for i := range b.e {
+				b.e[i] = negInf
+			}
+			chans[0] <- b
+		}
+		close(chans[0])
+	}()
+
+	best := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			best[w] = blockWorker(p, query, subject, starts[w], starts[w+1], chans[w], chans[w+1], w == workers-1)
+		}(w)
+	}
+	wg.Wait()
+	out := 0
+	for _, b := range best {
+		if b > out {
+			out = b
+		}
+	}
+	return out
+}
+
+// blockWorker computes columns [lo, hi) of the DP matrix (1-based
+// column indexes lo+1..hi), receiving left borders from in and emitting
+// its right border on out (unless it is the last block).
+func blockWorker(p sw.Params, query, subject []byte, lo, hi int, in, out chan border, last bool) int {
+	gs, ge := p.Gaps.Start, p.Gaps.Extend
+	width := hi - lo
+	h := make([]int, width+1)  // H[i-1][lo..hi] rolling row
+	f := make([]int, width+1)  // F for current column positions
+	hd := make([]int, width+1) // scratch: previous row values for diagonal
+	for j := range f {
+		f[j] = negInf
+	}
+	best := 0
+	prevBorderH := 0 // H[i-1][lo] from the previous row's border
+	for b := range in {
+		var outB border
+		if !last {
+			outB = border{firstRow: b.firstRow, h: make([]int, len(b.h)), e: make([]int, len(b.h))}
+		}
+		for bi := range b.h {
+			i := b.firstRow + bi
+			row := p.Matrix.Row(query[i-1])
+			copy(hd, h)
+			// Left border for this row: H[i][lo] and E[i][lo] from the
+			// neighbour; diagonal H[i-1][lo] was saved from last row.
+			hLeft, eLeft := b.h[bi], b.e[bi]
+			diag := prevBorderH
+			prevBorderH = hLeft
+			h[0] = hLeft
+			e := eLeft
+			for j := 1; j <= width; j++ {
+				col := lo + j // 1-based DP column
+				hup := hd[j]
+				fv := f[j]
+				if v := hup - gs; v > fv {
+					fv = v
+				}
+				fv -= ge
+				if v := h[j-1] - gs; v > e {
+					e = v
+				}
+				e -= ge
+				v := diag + int(row[subject[col-1]])
+				if e > v {
+					v = e
+				}
+				if fv > v {
+					v = fv
+				}
+				if v < 0 {
+					v = 0
+				}
+				diag = hup
+				h[j] = v
+				f[j] = fv
+				if v > best {
+					best = v
+				}
+			}
+			if !last {
+				outB.h[bi] = h[width]
+				outB.e[bi] = e
+			}
+		}
+		if !last {
+			out <- outB
+		}
+	}
+	if !last {
+		close(out)
+	}
+	return best
+}
+
+// Engine adapts the fine-grained kernel to the sw.Engine interface: each
+// comparison of the database search runs as a column-block wavefront
+// across the configured number of goroutines.
+type Engine struct {
+	params sw.Params
+	cfg    Config
+}
+
+// NewEngine builds the engine.
+func NewEngine(params sw.Params, cfg Config) *Engine {
+	cfg.defaults()
+	return &Engine{params: params, cfg: cfg}
+}
+
+// Name implements sw.Engine.
+func (e *Engine) Name() string { return "finegrained-wavefront" }
+
+// Scores implements sw.Engine.
+func (e *Engine) Scores(query []byte, db *seq.Set) []int {
+	out := make([]int, db.Len())
+	for i := range db.Seqs {
+		out[i] = Score(e.params, query, db.Seqs[i].Residues, e.cfg)
+	}
+	return out
+}
+
+var _ sw.Engine = (*Engine)(nil)

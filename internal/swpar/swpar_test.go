@@ -1,0 +1,102 @@
+package swpar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/sw"
+	"swdual/internal/synth"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(alphabet.Protein.Core()))
+	}
+	return s
+}
+
+func TestMatchesOracleAcrossShapes(t *testing.T) {
+	p := sw.DefaultParams()
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 60; iter++ {
+		q := randSeq(rng, 1+rng.Intn(200))
+		d := randSeq(rng, 1+rng.Intn(300))
+		want := sw.Score(p, q, d)
+		for _, cfg := range []Config{
+			{Workers: 1, RowBand: 16},
+			{Workers: 2, RowBand: 8},
+			{Workers: 4, RowBand: 32},
+			{Workers: 7, RowBand: 1},
+			{Workers: 16, RowBand: 64},
+		} {
+			if got := Score(p, q, d, cfg); got != want {
+				t.Fatalf("iter %d cfg %+v: got %d want %d (|q|=%d |d|=%d)", iter, cfg, got, want, len(q), len(d))
+			}
+		}
+	}
+}
+
+func TestMoreWorkersThanColumns(t *testing.T) {
+	p := sw.DefaultParams()
+	q := alphabet.Protein.MustEncode("MKWVTFISLL")
+	d := alphabet.Protein.MustEncode("MKW")
+	want := sw.Score(p, q, d)
+	if got := Score(p, q, d, Config{Workers: 32, RowBand: 4}); got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	p := sw.DefaultParams()
+	if Score(p, nil, []byte{1}, Config{}) != 0 {
+		t.Fatal("empty query")
+	}
+	if Score(p, []byte{1}, nil, Config{}) != 0 {
+		t.Fatal("empty subject")
+	}
+}
+
+func TestEngineMatchesScalarEngine(t *testing.T) {
+	p := sw.DefaultParams()
+	db := synth.RandomSet(alphabet.Protein, 15, 1, 250, 41)
+	q := randSeq(rand.New(rand.NewSource(42)), 120)
+	want := sw.NewScalar(p).Scores(q, db)
+	got := NewEngine(p, Config{Workers: 3, RowBand: 16}).Scores(q, db)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seq %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: the wavefront decomposition is invariant in worker count and
+// band size.
+func TestQuickDecompositionInvariance(t *testing.T) {
+	p := sw.DefaultParams()
+	f := func(qr, dr []byte, workers, band uint8) bool {
+		q := clamp(qr, 100)
+		d := clamp(dr, 150)
+		if len(q) == 0 || len(d) == 0 {
+			return true
+		}
+		cfg := Config{Workers: int(workers%8) + 1, RowBand: int(band%32) + 1}
+		return Score(p, q, d, cfg) == sw.Score(p, q, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp(b []byte, maxLen int) []byte {
+	if len(b) > maxLen {
+		b = b[:maxLen]
+	}
+	out := make([]byte, len(b))
+	for i, v := range b {
+		out[i] = v % byte(alphabet.Protein.Len())
+	}
+	return out
+}

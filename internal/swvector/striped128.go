@@ -1,0 +1,220 @@
+package swvector
+
+import (
+	"swdual/internal/scoring"
+	"swdual/internal/seq"
+	"swdual/internal/sw"
+)
+
+// v128 emulates a 128-bit SIMD register as two uint64 words (lanes 0-7 in
+// lo, 8-15 in hi): the exact register width Farrar's SSE2 implementation
+// uses, giving 16 parallel 8-bit lanes per operation.
+type v128 struct{ lo, hi uint64 }
+
+// Lanes128 is the lane count of the 128-bit kernels.
+const Lanes128 = 16
+
+func addSat128(a, b v128) v128 { return v128{addSat8(a.lo, b.lo), addSat8(a.hi, b.hi)} }
+func subSat128(a, b v128) v128 { return v128{subSat8(a.lo, b.lo), subSat8(a.hi, b.hi)} }
+func max128(a, b v128) v128    { return v128{max8(a.lo, b.lo), max8(a.hi, b.hi)} }
+func anyGT128(a, b v128) bool  { return anyGT8(a.lo, b.lo) || anyGT8(a.hi, b.hi) }
+func splat128(v uint8) v128    { return v128{splat8(v), splat8(v)} }
+
+// laneShiftUp128 shifts the register up one 8-bit lane, carrying lane 7
+// into lane 8 and filling lane 0 — the _mm_slli_si128(x, 1) of SSE2.
+func laneShiftUp128(x v128, fill uint8) v128 {
+	return v128{
+		lo: x.lo<<8 | uint64(fill),
+		hi: x.hi<<8 | x.lo>>56,
+	}
+}
+
+func maxByte128(x v128) uint8 {
+	a, b := maxByte8(x.lo), maxByte8(x.hi)
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// profile128 is the 16-lane biased striped query profile.
+type profile128 struct {
+	queryLen int
+	segLen   int
+	bias     uint8
+	rows     [][]v128
+}
+
+func newProfile128(m *scoring.Matrix, query []byte) (*profile128, bool) {
+	minV, maxV := m.Min(), m.Max()
+	if maxV-minV > 200 {
+		return nil, false
+	}
+	bias := uint8(0)
+	if minV < 0 {
+		bias = uint8(-minV)
+	}
+	segLen := (len(query) + Lanes128 - 1) / Lanes128
+	if segLen == 0 {
+		segLen = 1
+	}
+	p := &profile128{queryLen: len(query), segLen: segLen, bias: bias, rows: make([][]v128, m.Size())}
+	for r := 0; r < m.Size(); r++ {
+		row := make([]v128, segLen)
+		for s := 0; s < segLen; s++ {
+			var w v128
+			for l := 0; l < Lanes128; l++ {
+				pos := s + l*segLen
+				v := 0
+				if pos < len(query) {
+					v = m.Score(byte(r), query[pos]) + int(bias)
+				}
+				if l < 8 {
+					w.lo |= uint64(uint8(v)) << (8 * l)
+				} else {
+					w.hi |= uint64(uint8(v)) << (8 * (l - 8))
+				}
+			}
+			row[s] = w
+		}
+		p.rows[r] = row
+	}
+	return p, true
+}
+
+// scoreStriped128 runs the Farrar kernel on 16 lanes. overflow=true means
+// the caller must rescore with a wider kernel. As in ScoreStriped8, the
+// degenerate Gs == 0 gap model routes to exact F propagation.
+func scoreStriped128(p *profile128, gaps scoring.Gaps, subject []byte) (score int, overflow bool) {
+	if p.queryLen == 0 || len(subject) == 0 {
+		return 0, false
+	}
+	if gaps.Start == 0 {
+		best := scoreStriped128Exact(p, gaps, subject)
+		return best, best >= 255-int(p.bias)
+	}
+	segLen := p.segLen
+	vGapOpen := splat128(uint8(gaps.OpenCost()))
+	vGapExt := splat128(uint8(gaps.Extend))
+	vBias := splat128(p.bias)
+	hStore := make([]v128, segLen)
+	hLoad := make([]v128, segLen)
+	vE := make([]v128, segLen)
+	var vMax v128
+	for _, d := range subject {
+		vP := p.rows[d]
+		var vF v128
+		vH := laneShiftUp128(hStore[segLen-1], 0)
+		hStore, hLoad = hLoad, hStore
+		for i := 0; i < segLen; i++ {
+			vH = subSat128(addSat128(vH, vP[i]), vBias)
+			vH = max128(vH, vE[i])
+			vH = max128(vH, vF)
+			vMax = max128(vMax, vH)
+			hStore[i] = vH
+			vHGap := subSat128(vH, vGapOpen)
+			vE[i] = max128(subSat128(vE[i], vGapExt), vHGap)
+			vF = max128(subSat128(vF, vGapExt), vHGap)
+			vH = hLoad[i]
+		}
+		vF = laneShiftUp128(vF, 0)
+	lazyF:
+		for k := 0; k < Lanes128; k++ {
+			for i := 0; i < segLen; i++ {
+				vH := max128(hStore[i], vF)
+				vMax = max128(vMax, vH)
+				hStore[i] = vH
+				vF = subSat128(vF, vGapExt)
+				if !anyGT128(vF, subSat128(vH, vGapOpen)) {
+					break lazyF
+				}
+			}
+			vF = laneShiftUp128(vF, 0)
+		}
+	}
+	best := int(maxByte128(vMax))
+	return best, best >= 255-int(p.bias)
+}
+
+// scoreStriped128Exact is the full-propagation variant used when Gs == 0
+// (see scoreStriped8Exact for the argument).
+func scoreStriped128Exact(p *profile128, gaps scoring.Gaps, subject []byte) int {
+	segLen := p.segLen
+	vGapOpen := splat128(uint8(gaps.OpenCost()))
+	vGapExt := splat128(uint8(gaps.Extend))
+	vBias := splat128(p.bias)
+	hStore := make([]v128, segLen)
+	hLoad := make([]v128, segLen)
+	vE := make([]v128, segLen)
+	var vMax v128
+	for _, d := range subject {
+		vP := p.rows[d]
+		var vF v128
+		vH := laneShiftUp128(hStore[segLen-1], 0)
+		hStore, hLoad = hLoad, hStore
+		for i := 0; i < segLen; i++ {
+			vH = subSat128(addSat128(vH, vP[i]), vBias)
+			vH = max128(vH, vE[i])
+			vH = max128(vH, vF)
+			vMax = max128(vMax, vH)
+			hStore[i] = vH
+			vHGap := subSat128(vH, vGapOpen)
+			vE[i] = max128(subSat128(vE[i], vGapExt), vHGap)
+			vF = max128(subSat128(vF, vGapExt), vHGap)
+			vH = hLoad[i]
+		}
+		for k := 0; k < Lanes128; k++ {
+			vF = laneShiftUp128(vF, 0)
+			for i := 0; i < segLen; i++ {
+				vH := max128(hStore[i], vF)
+				vMax = max128(vMax, vH)
+				hStore[i] = vH
+				vHGap := subSat128(vH, vGapOpen)
+				vE[i] = max128(vE[i], vHGap)
+				vF = max128(subSat128(vF, vGapExt), vHGap)
+			}
+		}
+	}
+	return int(maxByte128(vMax))
+}
+
+// Striped128 is the 16-lane Farrar engine — the closest analogue of the
+// original SSE2 STRIPED implementation (16 x 8-bit lanes per xmm
+// register), escalating to 16-bit lanes and then the scalar oracle on
+// overflow.
+type Striped128 struct {
+	params sw.Params
+}
+
+// NewStriped128 builds the engine.
+func NewStriped128(p sw.Params) *Striped128 { return &Striped128{params: p} }
+
+// Name implements sw.Engine.
+func (e *Striped128) Name() string { return "striped-128" }
+
+// Scores implements sw.Engine.
+func (e *Striped128) Scores(query []byte, db *seq.Set) []int {
+	out := make([]int, db.Len())
+	p8, ok := newProfile128(e.params.Matrix, query)
+	var p16 *scoring.StripedProfile16
+	for i := range db.Seqs {
+		subject := db.Seqs[i].Residues
+		if ok {
+			if s, over := scoreStriped128(p8, e.params.Gaps, subject); !over {
+				out[i] = s
+				continue
+			}
+		}
+		if p16 == nil {
+			p16 = scoring.NewStripedProfile16(e.params.Matrix, query)
+		}
+		if s, over := ScoreStriped16(p16, e.params.Gaps, subject); !over {
+			out[i] = s
+			continue
+		}
+		out[i] = sw.Score(e.params, query, subject)
+	}
+	return out
+}
+
+var _ sw.Engine = (*Striped128)(nil)

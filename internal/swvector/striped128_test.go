@@ -1,0 +1,146 @@
+package swvector
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/seq"
+	"swdual/internal/sw"
+	"swdual/internal/synth"
+)
+
+func TestV128Primitives(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	get := func(x v128, l int) uint8 {
+		if l < 8 {
+			return byteAt(x.lo, l)
+		}
+		return byteAt(x.hi, l-8)
+	}
+	set := func(x v128, l int, v uint8) v128 {
+		if l < 8 {
+			x.lo = withByte(x.lo, l, v)
+		} else {
+			x.hi = withByte(x.hi, l-8, v)
+		}
+		return x
+	}
+	for iter := 0; iter < 1000; iter++ {
+		var a, b v128
+		for l := 0; l < Lanes128; l++ {
+			a = set(a, l, uint8(rng.Intn(256)))
+			b = set(b, l, uint8(rng.Intn(256)))
+		}
+		add := addSat128(a, b)
+		sub := subSat128(a, b)
+		mx := max128(a, b)
+		for l := 0; l < Lanes128; l++ {
+			x, y := int(get(a, l)), int(get(b, l))
+			if s := x + y; s > 255 {
+				if get(add, l) != 255 {
+					t.Fatalf("addSat lane %d: %d", l, get(add, l))
+				}
+			} else if int(get(add, l)) != s {
+				t.Fatalf("addSat lane %d: %d want %d", l, get(add, l), s)
+			}
+			d := x - y
+			if d < 0 {
+				d = 0
+			}
+			if int(get(sub, l)) != d {
+				t.Fatalf("subSat lane %d", l)
+			}
+			m := x
+			if y > m {
+				m = y
+			}
+			if int(get(mx, l)) != m {
+				t.Fatalf("max lane %d", l)
+			}
+		}
+	}
+}
+
+func TestLaneShiftUp128CarriesAcrossWords(t *testing.T) {
+	var x v128
+	x.lo = withByte(x.lo, 7, 0xAB)
+	shifted := laneShiftUp128(x, 0xCD)
+	if byteAt(shifted.hi, 0) != 0xAB {
+		t.Fatalf("lane 7 did not carry into lane 8: %016x", shifted.hi)
+	}
+	if byteAt(shifted.lo, 0) != 0xCD {
+		t.Fatal("fill byte lost")
+	}
+}
+
+func TestStriped128MatchesScalar(t *testing.T) {
+	p := params()
+	rng := rand.New(rand.NewSource(62))
+	for iter := 0; iter < 200; iter++ {
+		q := randSeq(rng, 1+rng.Intn(120))
+		d := randSeq(rng, 1+rng.Intn(150))
+		prof, ok := newProfile128(p.Matrix, q)
+		if !ok {
+			t.Fatal("profile build failed")
+		}
+		got, over := scoreStriped128(prof, p.Gaps, d)
+		if over {
+			continue
+		}
+		if want := sw.Score(p, q, d); got != want {
+			t.Fatalf("iter %d: striped128 %d scalar %d (|q|=%d |d|=%d)", iter, got, want, len(q), len(d))
+		}
+	}
+}
+
+func TestStriped128EngineWithOverflow(t *testing.T) {
+	p := params()
+	long := make([]byte, 600)
+	for i := range long {
+		long[i] = byte(i % 20)
+	}
+	db := seq.NewSet(alphabet.Protein)
+	db.AddEncoded("self", "", long)
+	db.AddEncoded("tiny", "", long[:6])
+	want := sw.NewScalar(p).Scores(long, db)
+	got := NewStriped128(p).Scores(long, db)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seq %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAllStripedWidthsAgree(t *testing.T) {
+	p := params()
+	db := synth.RandomSet(alphabet.Protein, 30, 1, 200, 63)
+	q := randSeq(rand.New(rand.NewSource(64)), 90)
+	e8 := NewStriped(p).Scores(q, db)
+	e128 := NewStriped128(p).Scores(q, db)
+	inter := NewInterSeq(p).Scores(q, db)
+	for i := range e8 {
+		if e8[i] != e128[i] || e8[i] != inter[i] {
+			t.Fatalf("seq %d: striped=%d striped128=%d interseq=%d", i, e8[i], e128[i], inter[i])
+		}
+	}
+}
+
+func TestQuickStriped128EqualsScalar(t *testing.T) {
+	p := params()
+	eng := NewStriped128(p)
+	f := func(qr, dr []byte) bool {
+		q := clampResidues(qr, 100)
+		d := clampResidues(dr, 140)
+		if len(q) == 0 || len(d) == 0 {
+			return true
+		}
+		db := seq.NewSet(alphabet.Protein)
+		db.AddEncoded("x", "", d)
+		return eng.Scores(q, db)[0] == sw.Score(p, q, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package swvector implements the two CPU SIMD Smith-Waterman strategies
+// the paper's baselines rely on, using SWAR (SIMD Within A Register) on
+// uint64 words in place of SSE2 registers:
+//
+//   - the Farrar "striped" intra-sequence vectorization (STRIPED, SWPS3),
+//     with the lazy-F correction loop and 8-bit -> 16-bit -> scalar
+//     overflow escalation;
+//   - the Rognes SWIPE inter-sequence vectorization, aligning one query
+//     against 8 database sequences per vector lane.
+//
+// Both produce scores identical to the scalar oracle in package sw.
+package swvector
+
+// 8-bit unsigned lanes, 8 per uint64 word. The helpers split a word into
+// even and odd bytes widened to 16-bit sub-lanes; within a sub-lane the
+// arithmetic cannot carry across lanes, which keeps every operation
+// branch-free and obviously correct.
+
+const (
+	evenMask = 0x00FF00FF00FF00FF
+	carry8   = 0x0100010001000100 // bit 8 of each 16-bit sub-lane
+	ones16   = 0x0001000100010001
+)
+
+func splitBytes(x uint64) (even, odd uint64) {
+	return x & evenMask, (x >> 8) & evenMask
+}
+
+func mergeBytes(even, odd uint64) uint64 {
+	return even | odd<<8
+}
+
+// addSat8 returns the per-byte unsigned saturating sum a+b.
+func addSat8(a, b uint64) uint64 {
+	ae, ao := splitBytes(a)
+	be, bo := splitBytes(b)
+	se := ae + be
+	so := ao + bo
+	// Saturate sub-lanes that carried into bit 8.
+	me := (se >> 8 & ones16) * 0xFF
+	mo := (so >> 8 & ones16) * 0xFF
+	return mergeBytes(se&evenMask|me, so&evenMask|mo)
+}
+
+// subSat8 returns the per-byte unsigned saturating difference max(a-b, 0).
+func subSat8(a, b uint64) uint64 {
+	ae, ao := splitBytes(a)
+	be, bo := splitBytes(b)
+	// Bias each sub-lane by 256 so the subtraction never borrows across
+	// lanes; bit 8 is then set exactly when a >= b.
+	de := ae + carry8 - be
+	do := ao + carry8 - bo
+	ge := de >> 8 & ones16 // 1 where a >= b
+	go_ := do >> 8 & ones16
+	return mergeBytes(de&evenMask&(ge*0xFF), do&evenMask&(go_*0xFF))
+}
+
+// max8 returns the per-byte unsigned maximum.
+func max8(a, b uint64) uint64 {
+	ae, ao := splitBytes(a)
+	be, bo := splitBytes(b)
+	de := ae + carry8 - be
+	do := ao + carry8 - bo
+	ge := (de >> 8 & ones16) * 0xFF // 0xFF where a >= b
+	go_ := (do >> 8 & ones16) * 0xFF
+	return mergeBytes(ae&ge|be&^ge, ao&go_|bo&^go_)
+}
+
+// anyGT8 reports whether any byte of a is strictly greater than the
+// corresponding byte of b.
+func anyGT8(a, b uint64) bool {
+	return subSat8(a, b) != 0
+}
+
+// maxByte8 returns the largest byte in the word.
+func maxByte8(x uint64) uint8 {
+	best := uint8(0)
+	for i := 0; i < 8; i++ {
+		if b := uint8(x >> (8 * i)); b > best {
+			best = b
+		}
+	}
+	return best
+}
+
+// splat8 replicates an 8-bit value into all lanes.
+func splat8(v uint8) uint64 {
+	return uint64(v) * 0x0101010101010101
+}
+
+// byteAt extracts lane l (0 = least significant).
+func byteAt(x uint64, l int) uint8 { return uint8(x >> (8 * l)) }
+
+// withByte returns x with lane l replaced by v.
+func withByte(x uint64, l int, v uint8) uint64 {
+	sh := uint(8 * l)
+	return x&^(uint64(0xFF)<<sh) | uint64(v)<<sh
+}
+
+// laneShiftUp8 shifts the word up by one 8-bit lane (the striped kernel's
+// column rotation), filling the vacated lane 0 with fill.
+func laneShiftUp8(x uint64, fill uint8) uint64 {
+	return x<<8 | uint64(fill)
+}
+
+// 16-bit unsigned lanes, 4 per uint64 word, same even/odd widening trick
+// with 32-bit sub-lanes.
+
+const (
+	evenMask16 = 0x0000FFFF0000FFFF
+	carry16    = 0x0001000000010000
+	ones32     = 0x0000000100000001
+)
+
+func split16(x uint64) (even, odd uint64) {
+	return x & evenMask16, (x >> 16) & evenMask16
+}
+
+func merge16(even, odd uint64) uint64 {
+	return even | odd<<16
+}
+
+// addSat16 returns the per-uint16 saturating sum.
+func addSat16(a, b uint64) uint64 {
+	ae, ao := split16(a)
+	be, bo := split16(b)
+	se := ae + be
+	so := ao + bo
+	me := (se >> 16 & ones32) * 0xFFFF
+	mo := (so >> 16 & ones32) * 0xFFFF
+	return merge16(se&evenMask16|me, so&evenMask16|mo)
+}
+
+// subSat16 returns the per-uint16 saturating difference max(a-b, 0).
+func subSat16(a, b uint64) uint64 {
+	ae, ao := split16(a)
+	be, bo := split16(b)
+	de := ae + carry16 - be
+	do := ao + carry16 - bo
+	ge := de >> 16 & ones32
+	go_ := do >> 16 & ones32
+	return merge16(de&evenMask16&(ge*0xFFFF), do&evenMask16&(go_*0xFFFF))
+}
+
+// max16 returns the per-uint16 unsigned maximum.
+func max16(a, b uint64) uint64 {
+	ae, ao := split16(a)
+	be, bo := split16(b)
+	de := ae + carry16 - be
+	do := ao + carry16 - bo
+	ge := (de >> 16 & ones32) * 0xFFFF
+	go_ := (do >> 16 & ones32) * 0xFFFF
+	return merge16(ae&ge|be&^ge, ao&go_|bo&^go_)
+}
+
+// anyGT16 reports whether any 16-bit lane of a exceeds that of b.
+func anyGT16(a, b uint64) bool { return subSat16(a, b) != 0 }
+
+// maxLane16 returns the largest 16-bit lane in the word.
+func maxLane16(x uint64) uint16 {
+	best := uint16(0)
+	for i := 0; i < 4; i++ {
+		if v := uint16(x >> (16 * i)); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// splat16 replicates a 16-bit value into all four lanes.
+func splat16(v uint16) uint64 { return uint64(v) * ones16 }
+
+// laneShiftUp16 shifts the word up by one 16-bit lane, filling lane 0.
+func laneShiftUp16(x uint64, fill uint16) uint64 {
+	return x<<16 | uint64(fill)
+}
+
+// lane16At extracts 16-bit lane l.
+func lane16At(x uint64, l int) uint16 { return uint16(x >> (16 * l)) }
+
+// withLane16 returns x with 16-bit lane l replaced by v.
+func withLane16(x uint64, l int, v uint16) uint64 {
+	sh := uint(16 * l)
+	return x&^(uint64(0xFFFF)<<sh) | uint64(v)<<sh
+}

@@ -1,0 +1,191 @@
+package swvector
+
+import (
+	"swdual/internal/scoring"
+	"swdual/internal/seq"
+	"swdual/internal/sw"
+)
+
+// InterSeq is the Rognes SWIPE-style inter-sequence engine (the analogue
+// of the SWIPE baseline in the paper's Table I): eight database sequences
+// are aligned against the query simultaneously, one per 8-bit lane, with
+// finished lanes refilled from the remaining database. Sequences whose
+// score saturates 8 bits are rescored with the 16-bit striped kernel and,
+// if needed, the scalar oracle.
+type InterSeq struct {
+	params sw.Params
+}
+
+// NewInterSeq builds the engine.
+func NewInterSeq(p sw.Params) *InterSeq { return &InterSeq{params: p} }
+
+// Name implements sw.Engine.
+func (e *InterSeq) Name() string { return "interseq-swar" }
+
+// Scores implements sw.Engine.
+func (e *InterSeq) Scores(query []byte, db *seq.Set) []int {
+	out := make([]int, db.Len())
+	if len(query) == 0 || db.Len() == 0 {
+		return out
+	}
+	m := e.params.Matrix
+	bias := uint8(0)
+	if minV := m.Min(); minV < 0 {
+		bias = uint8(-minV)
+	}
+	var overflowed []int
+	k := newInterKernel(e.params, bias, query)
+	k.run(db, out, &overflowed)
+	if len(overflowed) > 0 {
+		p16 := scoring.NewStripedProfile16(m, query)
+		for _, i := range overflowed {
+			s, over := ScoreStriped16(p16, e.params.Gaps, db.Seqs[i].Residues)
+			if over {
+				s = sw.Score(e.params, query, db.Seqs[i].Residues)
+			}
+			out[i] = s
+		}
+	}
+	return out
+}
+
+// interKernel holds the per-search vector state.
+type interKernel struct {
+	params   sw.Params
+	query    []byte
+	bias     uint8
+	vBias    uint64
+	vGapOpen uint64
+	vGapExt  uint64
+	hcol     []uint64         // H of the previous column, per query row
+	ecol     []uint64         // E of the previous column, per query row
+	dprofile []uint64         // per-column score rows, indexed by query residue code
+	laneSeq  [Lanes8Count]int // db sequence index per lane, -1 = idle
+	lanePos  [Lanes8Count]int
+	laneMax  uint64
+}
+
+func newInterKernel(p sw.Params, bias uint8, query []byte) *interKernel {
+	return &interKernel{
+		params:   p,
+		query:    query,
+		bias:     bias,
+		vBias:    splat8(bias),
+		vGapOpen: splat8(uint8(p.Gaps.OpenCost())),
+		vGapExt:  splat8(uint8(p.Gaps.Extend)),
+		hcol:     make([]uint64, len(query)+1),
+		ecol:     make([]uint64, len(query)+1),
+		dprofile: make([]uint64, p.Matrix.Size()),
+	}
+}
+
+func (k *interKernel) run(db *seq.Set, out []int, overflowed *[]int) {
+	next := 0
+	active := 0
+	for l := range k.laneSeq {
+		k.laneSeq[l] = -1
+	}
+	// Prime the lanes.
+	for l := 0; l < Lanes8Count && next < db.Len(); l++ {
+		next = k.fill(l, db, next, out, overflowed)
+		if k.laneSeq[l] >= 0 {
+			active++
+		}
+	}
+	for active > 0 {
+		k.buildProfile(db)
+		k.column()
+		// Advance lanes; retire and refill finished ones.
+		for l := 0; l < Lanes8Count; l++ {
+			si := k.laneSeq[l]
+			if si < 0 {
+				continue
+			}
+			k.lanePos[l]++
+			if k.lanePos[l] < db.Seqs[si].Len() {
+				continue
+			}
+			k.retire(l, out, overflowed)
+			next = k.fill(l, db, next, out, overflowed)
+			if k.laneSeq[l] < 0 {
+				active--
+			}
+		}
+	}
+}
+
+// fill assigns the next database sequence to lane l, immediately retiring
+// empty sequences. It returns the updated next index.
+func (k *interKernel) fill(l int, db *seq.Set, next int, out []int, overflowed *[]int) int {
+	for next < db.Len() && db.Seqs[next].Len() == 0 {
+		out[next] = 0
+		next++
+	}
+	if next >= db.Len() {
+		k.laneSeq[l] = -1
+		return next
+	}
+	k.laneSeq[l] = next
+	k.lanePos[l] = 0
+	k.clearLane(l)
+	return next + 1
+}
+
+// retire records lane l's score and flags overflow.
+func (k *interKernel) retire(l int, out []int, overflowed *[]int) {
+	si := k.laneSeq[l]
+	s := int(byteAt(k.laneMax, l))
+	if s >= 255-int(k.bias) {
+		*overflowed = append(*overflowed, si)
+	}
+	out[si] = s
+	k.laneSeq[l] = -1
+}
+
+// clearLane zeroes lane l of all DP state so a fresh sequence can start.
+func (k *interKernel) clearLane(l int) {
+	for i := range k.hcol {
+		k.hcol[i] = withByte(k.hcol[i], l, 0)
+		k.ecol[i] = withByte(k.ecol[i], l, 0)
+	}
+	k.laneMax = withByte(k.laneMax, l, 0)
+}
+
+// buildProfile assembles the per-column score rows: for every query
+// residue code r, a word whose lane l holds S(r, subject_l[pos_l]) + bias.
+// Idle lanes get 0 (the most negative biased score).
+func (k *interKernel) buildProfile(db *seq.Set) {
+	for r := range k.dprofile {
+		k.dprofile[r] = 0
+	}
+	for l := 0; l < Lanes8Count; l++ {
+		si := k.laneSeq[l]
+		if si < 0 {
+			continue
+		}
+		d := db.Seqs[si].Residues[k.lanePos[l]]
+		row := k.params.Matrix.Row(d)
+		for r := range k.dprofile {
+			k.dprofile[r] = withByte(k.dprofile[r], l, uint8(int(row[r])+int(k.bias)))
+		}
+	}
+}
+
+// column advances the DP by one database column in every lane.
+func (k *interKernel) column() {
+	diag := k.hcol[0] // H[0][t-1], always zero lanes
+	k.hcol[0] = 0
+	var f uint64
+	for i := 1; i <= len(k.query); i++ {
+		old := k.hcol[i]
+		e := max8(subSat8(k.ecol[i], k.vGapExt), subSat8(old, k.vGapOpen))
+		f = max8(subSat8(f, k.vGapExt), subSat8(k.hcol[i-1], k.vGapOpen))
+		h := subSat8(addSat8(diag, k.dprofile[k.query[i-1]]), k.vBias)
+		h = max8(h, e)
+		h = max8(h, f)
+		k.laneMax = max8(k.laneMax, h)
+		diag = old
+		k.hcol[i] = h
+		k.ecol[i] = e
+	}
+}

@@ -1,0 +1,325 @@
+// Package wire defines the binary master-worker protocol of the
+// distributed SWDUAL runtime (paper §IV): length-prefixed frames with a
+// one-byte message type, little-endian integers, and explicit versioning.
+// The encoding is hand-rolled on encoding/binary so both ends allocate
+// exactly what the declared lengths demand.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"time"
+)
+
+// Protocol constants.
+const (
+	Version = 1
+	// MaxFrame bounds a frame payload (64 MiB) to fail fast on corrupt
+	// length prefixes.
+	MaxFrame = 64 << 20
+)
+
+// Message type codes.
+const (
+	TypeHello byte = iota + 1
+	TypeWelcome
+	TypeTask
+	TypeResult
+	TypeDone
+	TypeError
+)
+
+// Hello registers a worker with the master.
+type Hello struct {
+	Version    uint32
+	Name       string
+	Kind       uint8 // 0 = CPU pool, 1 = GPU pool
+	RateGCUPS  float64
+	DBChecksum uint32 // CRC of the worker's local database copy
+}
+
+// Welcome acknowledges registration.
+type Welcome struct {
+	Version    uint32
+	QueryCount uint32
+	DBChecksum uint32
+}
+
+// Task carries one query to compare against the worker's database copy.
+type Task struct {
+	QueryIndex uint32
+	QueryID    string
+	Residues   []byte
+}
+
+// ResultHit is one scored database hit inside a Result.
+type ResultHit struct {
+	SeqIndex uint32
+	Score    int32
+	SeqID    string
+}
+
+// Result returns one task's outcome.
+type Result struct {
+	QueryIndex uint32
+	ElapsedNS  uint64
+	SimSeconds float64
+	Cells      uint64
+	Hits       []ResultHit
+}
+
+// ErrorMsg reports a fatal condition to the peer.
+type ErrorMsg struct {
+	Text string
+}
+
+// Conn frames messages over a net.Conn.
+type Conn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewConn wraps a network connection.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{nc: nc, br: bufio.NewReaderSize(nc, 1<<16), bw: bufio.NewWriterSize(nc, 1<<16)}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// SetDeadline sets a read/write deadline on the underlying connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// Send writes one message frame.
+func (c *Conn) Send(msg any) error {
+	typ, payload, err := Marshal(msg)
+	if err != nil {
+		return err
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Recv reads one message frame and decodes it.
+func (c *Conn) Recv() (any, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return nil, err
+	}
+	return Unmarshal(hdr[4], payload)
+}
+
+// Marshal encodes a message into its type code and payload.
+func Marshal(msg any) (byte, []byte, error) {
+	var e encoder
+	switch m := msg.(type) {
+	case *Hello:
+		e.u32(m.Version)
+		e.str(m.Name)
+		e.u8(m.Kind)
+		e.f64(m.RateGCUPS)
+		e.u32(m.DBChecksum)
+		return TypeHello, e.buf, nil
+	case *Welcome:
+		e.u32(m.Version)
+		e.u32(m.QueryCount)
+		e.u32(m.DBChecksum)
+		return TypeWelcome, e.buf, nil
+	case *Task:
+		e.u32(m.QueryIndex)
+		e.str(m.QueryID)
+		e.bytes(m.Residues)
+		return TypeTask, e.buf, nil
+	case *Result:
+		e.u32(m.QueryIndex)
+		e.u64(m.ElapsedNS)
+		e.f64(m.SimSeconds)
+		e.u64(m.Cells)
+		e.u32(uint32(len(m.Hits)))
+		for _, h := range m.Hits {
+			e.u32(h.SeqIndex)
+			e.u32(uint32(h.Score))
+			e.str(h.SeqID)
+		}
+		return TypeResult, e.buf, nil
+	case *ErrorMsg:
+		e.str(m.Text)
+		return TypeError, e.buf, nil
+	case nil:
+		return TypeDone, nil, nil
+	}
+	return 0, nil, fmt.Errorf("wire: cannot marshal %T", msg)
+}
+
+// Done is the sentinel value Recv returns for TypeDone frames.
+type Done struct{}
+
+// Unmarshal decodes a payload by type code.
+func Unmarshal(typ byte, payload []byte) (any, error) {
+	d := decoder{buf: payload}
+	switch typ {
+	case TypeHello:
+		m := &Hello{}
+		m.Version = d.u32()
+		m.Name = d.str()
+		m.Kind = d.u8()
+		m.RateGCUPS = d.f64()
+		m.DBChecksum = d.u32()
+		return m, d.err
+	case TypeWelcome:
+		m := &Welcome{}
+		m.Version = d.u32()
+		m.QueryCount = d.u32()
+		m.DBChecksum = d.u32()
+		return m, d.err
+	case TypeTask:
+		m := &Task{}
+		m.QueryIndex = d.u32()
+		m.QueryID = d.str()
+		m.Residues = d.bytes()
+		return m, d.err
+	case TypeResult:
+		m := &Result{}
+		m.QueryIndex = d.u32()
+		m.ElapsedNS = d.u64()
+		m.SimSeconds = d.f64()
+		m.Cells = d.u64()
+		n := d.u32()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if int(n) > len(d.buf) { // each hit needs >= 1 byte
+			return nil, fmt.Errorf("wire: hit count %d exceeds payload", n)
+		}
+		m.Hits = make([]ResultHit, 0, n)
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			var h ResultHit
+			h.SeqIndex = d.u32()
+			h.Score = int32(d.u32())
+			h.SeqID = d.str()
+			m.Hits = append(m.Hits, h)
+		}
+		return m, d.err
+	case TypeDone:
+		return Done{}, nil
+	case TypeError:
+		m := &ErrorMsg{}
+		m.Text = d.str()
+		return m, d.err
+	}
+	return nil, fmt.Errorf("wire: unknown message type %d", typ)
+}
+
+// encoder appends little-endian fields.
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *encoder) str(s string) {
+	if len(s) > 0xFFFF {
+		s = s[:0xFFFF]
+	}
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, uint16(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// decoder consumes little-endian fields, latching the first error.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: truncated payload")
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || len(d.buf) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || len(d.buf) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) str() string {
+	if d.err != nil || len(d.buf) < 2 {
+		d.fail()
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint16(d.buf))
+	d.buf = d.buf[2:]
+	if len(d.buf) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || len(d.buf) < n {
+		d.fail()
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[:n])
+	d.buf = d.buf[n:]
+	return b
+}

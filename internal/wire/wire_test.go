@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, msg any) any {
+	t.Helper()
+	typ, payload, err := Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(typ, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := &Hello{Version: 1, Name: "worker-é-1", Kind: 1, RateGCUPS: 24.8, DBChecksum: 0xDEADBEEF}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v want %+v", got, in)
+	}
+}
+
+func TestWelcomeRoundTrip(t *testing.T) {
+	in := &Welcome{Version: 1, QueryCount: 40, DBChecksum: 7}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTaskRoundTrip(t *testing.T) {
+	in := &Task{QueryIndex: 3, QueryID: "q3", Residues: []byte{0, 1, 2, 19}}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v", got)
+	}
+	// Empty residues survive as empty (not nil mismatch).
+	in2 := &Task{QueryIndex: 0, QueryID: "", Residues: []byte{}}
+	got := roundTrip(t, in2).(*Task)
+	if got.QueryIndex != 0 || len(got.Residues) != 0 {
+		t.Fatalf("empty task %+v", got)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	in := &Result{
+		QueryIndex: 9,
+		ElapsedNS:  123456789,
+		SimSeconds: 0.5,
+		Cells:      1 << 40,
+		Hits: []ResultHit{
+			{SeqIndex: 1, Score: 100, SeqID: "hit-1"},
+			{SeqIndex: 2, Score: -3, SeqID: "hit-2"},
+		},
+	}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDoneAndError(t *testing.T) {
+	if got := roundTrip(t, nil); got != (Done{}) {
+		t.Fatalf("done round trip %+v", got)
+	}
+	in := &ErrorMsg{Text: "boom"}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestMarshalUnknownType(t *testing.T) {
+	if _, _, err := Marshal(42); err == nil {
+		t.Fatal("unknown message type must fail")
+	}
+	if _, err := Unmarshal(200, nil); err == nil {
+		t.Fatal("unknown type code must fail")
+	}
+}
+
+func TestTruncatedPayloads(t *testing.T) {
+	typ, payload, err := Marshal(&Result{QueryIndex: 1, Hits: []ResultHit{{SeqIndex: 1, Score: 2, SeqID: "x"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := Unmarshal(typ, payload[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d must fail", cut, len(payload))
+		}
+	}
+}
+
+func TestHostileHitCount(t *testing.T) {
+	// A forged hit count must not cause a huge allocation.
+	var e encoder
+	e.u32(1)          // query index
+	e.u64(0)          // elapsed
+	e.f64(0)          // sim seconds
+	e.u64(0)          // cells
+	e.u32(0xFFFFFFFF) // hit count lie
+	if _, err := Unmarshal(TypeResult, e.buf); err == nil {
+		t.Fatal("hostile hit count must fail")
+	}
+}
+
+func TestConnOverPipe(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ca, cb := NewConn(a), NewConn(b)
+	done := make(chan error, 1)
+	go func() {
+		done <- ca.Send(&Hello{Version: 1, Name: "w", RateGCUPS: 1})
+	}()
+	msg, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	hello, ok := msg.(*Hello)
+	if !ok || hello.Name != "w" {
+		t.Fatalf("got %+v", msg)
+	}
+	// And the reverse direction with a Done frame.
+	go func() { done <- cb.Send(nil) }()
+	msg, err = ca.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(Done); !ok {
+		t.Fatalf("expected Done, got %T", msg)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Task messages of arbitrary content round-trip exactly.
+func TestQuickTaskRoundTrip(t *testing.T) {
+	f := func(idx uint32, id string, residues []byte) bool {
+		if len(id) > 1000 {
+			id = id[:1000]
+		}
+		in := &Task{QueryIndex: idx, QueryID: id, Residues: residues}
+		typ, payload, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		outAny, err := Unmarshal(typ, payload)
+		if err != nil {
+			return false
+		}
+		out := outAny.(*Task)
+		if out.QueryIndex != in.QueryIndex || out.QueryID != in.QueryID {
+			return false
+		}
+		if len(out.Residues) != len(in.Residues) {
+			return false
+		}
+		for i := range in.Residues {
+			if out.Residues[i] != in.Residues[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

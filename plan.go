@@ -1,0 +1,155 @@
+package swdual
+
+import (
+	"fmt"
+	"net"
+
+	"swdual/internal/bench"
+	"swdual/internal/cluster"
+	"swdual/internal/master"
+	"swdual/internal/platform"
+	"swdual/internal/sched"
+	"swdual/internal/synth"
+)
+
+// TaskPlan is one task of a schedule plan.
+type TaskPlan struct {
+	QueryIndex int
+	QueryLen   int
+	Kind       string // "CPU" or "GPU"
+	PE         int
+	Start      float64
+	End        float64
+}
+
+// SchedulePlan is the outcome of planning a search on the calibrated
+// paper-scale platform model without executing it.
+type SchedulePlan struct {
+	Algorithm    string
+	Makespan     float64 // modeled seconds
+	GCUPS        float64
+	IdleFraction float64
+	LowerBound   float64
+	Tasks        []TaskPlan
+	// Gantt is a text Gantt chart of the planned schedule (one row per
+	// PE, task letters over time).
+	Gantt string
+}
+
+// Plan runs only the scheduler over the calibrated platform model: it
+// answers "how would this search be split and how long would it take on
+// the paper's hardware" without computing alignments. Queries may be a
+// generated set or any loaded database.
+func Plan(db, queries *Database, opt Options) (*SchedulePlan, error) {
+	cpus, gpus := opt.workers()
+	p := platform.New(cpus, gpus)
+	lengths := make([]int, db.Len())
+	for i := range lengths {
+		lengths[i] = db.set.Seqs[i].Len()
+	}
+	model := p.ModelDB("db", lengths)
+	queryLens := make([]int, queries.Len())
+	for i := range queryLens {
+		queryLens[i] = queries.set.Seqs[i].Len()
+	}
+	in := p.Instance(model, queryLens)
+	var s *sched.Schedule
+	var err error
+	if opt.Policy == "dual-approx-dp" {
+		s, err = sched.DualApproxDP(in)
+	} else {
+		s, err = sched.DualApprox(in)
+	}
+	if err != nil {
+		return nil, err
+	}
+	plan := &SchedulePlan{
+		Algorithm:    s.Algorithm,
+		Makespan:     s.Makespan,
+		GCUPS:        platform.GCUPS(platform.Cells(model, queryLens), s.Makespan),
+		IdleFraction: s.IdleFraction(),
+		LowerBound:   sched.LowerBound(in),
+		Gantt:        s.Gantt(in, 96),
+	}
+	for _, pl := range s.Placements {
+		plan.Tasks = append(plan.Tasks, TaskPlan{
+			QueryIndex: pl.Task,
+			QueryLen:   queryLens[pl.Task],
+			Kind:       pl.Kind.String(),
+			PE:         pl.PE,
+			Start:      pl.Start,
+			End:        pl.End,
+		})
+	}
+	return plan, nil
+}
+
+// PaperPlatformPlan plans one of the paper's experiments directly from a
+// database preset name and query-set kind at full paper scale.
+func PaperPlatformPlan(preset, querySet string, workers int) (*SchedulePlan, error) {
+	spec, err := synth.DatabaseByName(preset)
+	if err != nil {
+		return nil, err
+	}
+	var qs synth.QuerySpec
+	switch querySet {
+	case "standard":
+		qs = synth.StandardQueries()
+	case "homogeneous":
+		qs = synth.HomogeneousQueries()
+	case "heterogeneous":
+		qs = synth.HeterogeneousQueries()
+	default:
+		return nil, fmt.Errorf("swdual: unknown query set %q", querySet)
+	}
+	gpus, cpus := bench.WorkerSplit(workers)
+	p := platform.New(cpus, gpus)
+	model := p.ModelDB(spec.Name, spec.GenerateLengths())
+	in := p.Instance(model, qs.Lengths)
+	s, err := sched.DualApprox(in)
+	if err != nil {
+		return nil, err
+	}
+	return &SchedulePlan{
+		Algorithm:    s.Algorithm,
+		Makespan:     s.Makespan,
+		GCUPS:        platform.GCUPS(platform.Cells(model, qs.Lengths), s.Makespan),
+		IdleFraction: s.IdleFraction(),
+		LowerBound:   sched.LowerBound(in),
+		Gantt:        s.Gantt(in, 96),
+	}, nil
+}
+
+// ServeMaster runs a cluster master on the listener: it waits for the
+// given number of workers, distributes the queries and returns per-query
+// results. Master and workers must load identical databases.
+func ServeMaster(l net.Listener, db, queries *Database, workers int, opt Options) (*cluster.Report, error) {
+	policy, err := opt.policy()
+	if err != nil {
+		return nil, err
+	}
+	return cluster.Serve(l, db.set, queries.set, cluster.MasterConfig{
+		Workers: workers,
+		Policy:  policy,
+		TopK:    opt.TopK,
+	})
+}
+
+// ConnectWorker connects a worker of the given kind ("cpu" or "gpu") to a
+// cluster master and serves tasks until the master finishes.
+func ConnectWorker(conn net.Conn, db *Database, kind, name string, opt Options) error {
+	params, err := opt.params()
+	if err != nil {
+		return err
+	}
+	var w master.Worker
+	switch kind {
+	case "cpu":
+		w = bench.BuildWorkers(params, 1, 0, opt.TopK)[0]
+	case "gpu":
+		w = bench.BuildWorkers(params, 0, 1, opt.TopK)[0]
+	default:
+		return fmt.Errorf("swdual: unknown worker kind %q", kind)
+	}
+	return cluster.RunWorker(conn, db.set, w, cluster.WorkerConfig{Name: name, TopK: opt.TopK})
+}

@@ -1,0 +1,50 @@
+package swdual
+
+import (
+	"swdual/internal/evalue"
+)
+
+// ScoreStats converts raw Smith-Waterman scores into Karlin-Altschul bit
+// scores and E-values — the significance figures a database search
+// reports next to each hit.
+type ScoreStats struct {
+	// Lambda and K are the Karlin-Altschul parameters in use.
+	Lambda float64
+	K      float64
+	// Gapped reports whether they are published gapped values (true) or
+	// the exact ungapped solution used as a conservative fallback.
+	Gapped bool
+
+	params evalue.Params
+}
+
+// NewScoreStats derives statistics parameters for the matrix and gap
+// model of the options: published gapped values where available (e.g.
+// BLOSUM62 10/2), otherwise the ungapped lambda solved exactly from the
+// matrix and Robinson-Robinson background frequencies.
+func NewScoreStats(opt Options) (*ScoreStats, error) {
+	p, err := opt.params()
+	if err != nil {
+		return nil, err
+	}
+	kp, err := evalue.ForParams(p.Matrix, p.Gaps)
+	if err != nil {
+		return nil, err
+	}
+	return &ScoreStats{Lambda: kp.Lambda, K: kp.K, Gapped: kp.Gapped, params: kp}, nil
+}
+
+// BitScore converts a raw score to bits.
+func (s *ScoreStats) BitScore(raw int) float64 { return s.params.BitScore(raw) }
+
+// EValue returns the expected number of chance hits scoring at least raw
+// for a query of queryLen residues against dbResidues database residues.
+func (s *ScoreStats) EValue(raw, queryLen int, dbResidues int64) float64 {
+	return s.params.EValue(raw, queryLen, dbResidues)
+}
+
+// ScoreThreshold returns the minimal raw score that is significant at
+// E-value e in the given search space.
+func (s *ScoreStats) ScoreThreshold(e float64, queryLen int, dbResidues int64) int {
+	return s.params.ScoreForEValue(e, queryLen, dbResidues)
+}

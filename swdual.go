@@ -1,0 +1,286 @@
+// Package swdual is a hybrid CPU/GPU Smith-Waterman sequence-database
+// search library, reproducing "Fast Biological Sequence Comparison on
+// Hybrid Platforms" (Kedad-Sidhoum, Mendonca, Monna, Mounié, Trystram —
+// ICPP 2014).
+//
+// A search compares a set of query sequences against a sequence database
+// on a platform of CPU workers (SWIPE-style SIMD-within-a-register
+// engines) and GPU workers (CUDASW++ 2.0-style engines on simulated Tesla
+// C2050 devices). The master assigns one task per query using the
+// paper's dual-approximation scheduler, which guarantees a makespan
+// within twice the optimum while keeping every processing element busy.
+//
+// Quick start:
+//
+//	db, _ := swdual.GenerateDatabase("UniProt", 2000) // 1/2000 scale
+//	queries, _ := swdual.GenerateQueries("standard", 50)
+//	report, _ := swdual.Search(db, queries, swdual.Options{CPUs: 2, GPUs: 2})
+//	for _, r := range report.Results {
+//		fmt.Println(r.QueryID, r.Hits[0].SeqID, r.Hits[0].Score)
+//	}
+package swdual
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/bench"
+	"swdual/internal/fasta"
+	"swdual/internal/master"
+	"swdual/internal/scoring"
+	"swdual/internal/seq"
+	"swdual/internal/seqdb"
+	"swdual/internal/sw"
+	"swdual/internal/synth"
+)
+
+// Options configures a search.
+type Options struct {
+	// Matrix names the substitution matrix: BLOSUM62 (default), BLOSUM50,
+	// PAM250 or DNA.
+	Matrix string
+	// GapStart (Gs) and GapExtend (Ge) are the affine gap penalties of
+	// the paper's Eqs. (3)-(4); a gap of length L costs Gs + L*Ge.
+	// Defaults: 10 and 2.
+	GapStart  int
+	GapExtend int
+	// CPUs and GPUs set the worker pools (defaults 1 and 1).
+	CPUs int
+	GPUs int
+	// TopK bounds reported hits per query (default 10).
+	TopK int
+	// Policy selects the allocation policy: "dual-approx" (default),
+	// "dual-approx-dp", "self-scheduling" or "round-robin".
+	Policy string
+}
+
+func (o Options) params() (sw.Params, error) {
+	name := o.Matrix
+	if name == "" {
+		name = "BLOSUM62"
+	}
+	m, err := scoring.ByName(name)
+	if err != nil {
+		return sw.Params{}, err
+	}
+	g := scoring.Gaps{Start: 10, Extend: 2}
+	if o.GapStart > 0 {
+		g.Start = o.GapStart
+	}
+	if o.GapExtend > 0 {
+		g.Extend = o.GapExtend
+	}
+	if err := g.Validate(); err != nil {
+		return sw.Params{}, err
+	}
+	return sw.Params{Matrix: m, Gaps: g}, nil
+}
+
+func (o Options) policy() (master.Policy, error) {
+	switch o.Policy {
+	case "", "dual-approx":
+		return master.PolicyDualApprox, nil
+	case "dual-approx-dp":
+		return master.PolicyDualApproxDP, nil
+	case "self-scheduling":
+		return master.PolicySelfScheduling, nil
+	case "round-robin":
+		return master.PolicyRoundRobin, nil
+	}
+	return 0, fmt.Errorf("swdual: unknown policy %q", o.Policy)
+}
+
+func (o Options) workers() (cpus, gpus int) {
+	cpus, gpus = o.CPUs, o.GPUs
+	if cpus == 0 && gpus == 0 {
+		cpus, gpus = 1, 1
+	}
+	return cpus, gpus
+}
+
+// Database is a set of sequences usable as search subjects or queries.
+type Database struct {
+	set *seq.Set
+}
+
+// Len returns the number of sequences.
+func (d *Database) Len() int { return d.set.Len() }
+
+// TotalResidues returns the summed sequence length.
+func (d *Database) TotalResidues() int64 { return d.set.TotalResidues() }
+
+// Sequence returns the ID and ASCII residues of sequence i.
+func (d *Database) Sequence(i int) (id string, residues string) {
+	s := &d.set.Seqs[i]
+	return s.ID, d.set.Alpha.DecodeString(s.Residues)
+}
+
+// Set exposes the underlying sequence set for advanced use.
+func (d *Database) Set() *seq.Set { return d.set }
+
+// LoadFASTA reads a protein FASTA file (unknown residues map to X).
+func LoadFASTA(path string) (*Database, error) {
+	set, err := fasta.ReadFile(path, alphabet.Protein, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{set: set}, nil
+}
+
+// LoadBinary opens a database in the paper's binary format (§IV).
+func LoadBinary(path string) (*Database, error) {
+	f, err := seqdb.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set, err := f.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return &Database{set: set}, nil
+}
+
+// SaveBinary writes the database in the paper's binary format.
+func (d *Database) SaveBinary(path string) error {
+	return seqdb.Create(path, d.set)
+}
+
+// SaveFASTA writes the database as FASTA text.
+func (d *Database) SaveFASTA(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fasta.WriteSet(f, d.set); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// FromSequences builds a database from ASCII protein sequences.
+func FromSequences(ids []string, residues []string) (*Database, error) {
+	if len(ids) != len(residues) {
+		return nil, fmt.Errorf("swdual: %d ids for %d sequences", len(ids), len(residues))
+	}
+	set := seq.NewSet(alphabet.Protein)
+	for i := range ids {
+		if err := set.Add(ids[i], "", []byte(strings.ToUpper(residues[i]))); err != nil {
+			return nil, err
+		}
+	}
+	return &Database{set: set}, nil
+}
+
+// GenerateDatabase creates a synthetic database preset ("UniProt",
+// "Ensembl Dog Proteins", "Ensembl Rat Proteins", "RefSeq Human
+// Proteins", "RefSeq Mouse Proteins"), scaled down by scale (>= 1).
+func GenerateDatabase(preset string, scale int) (*Database, error) {
+	spec, err := synth.DatabaseByName(preset)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{set: spec.Scaled(scale).Generate()}, nil
+}
+
+// GenerateQueries creates one of the paper's query sets ("standard",
+// "homogeneous", "heterogeneous"), with lengths divided by scale (>= 1).
+func GenerateQueries(kind string, scale int) (*Database, error) {
+	var spec synth.QuerySpec
+	switch kind {
+	case "standard":
+		spec = synth.StandardQueries()
+	case "homogeneous":
+		spec = synth.HomogeneousQueries()
+	case "heterogeneous":
+		spec = synth.HeterogeneousQueries()
+	default:
+		return nil, fmt.Errorf("swdual: unknown query set %q", kind)
+	}
+	return &Database{set: spec.Scaled(scale).Generate()}, nil
+}
+
+// Hit is one database match.
+type Hit = master.Hit
+
+// QueryResult is the outcome of one query's search.
+type QueryResult = master.QueryResult
+
+// Report is the outcome of a search run.
+type Report = master.Report
+
+// Search compares every query against the database on an in-process
+// hybrid platform and returns merged, score-sorted hits per query.
+func Search(db, queries *Database, opt Options) (*Report, error) {
+	if db == nil || queries == nil {
+		return nil, fmt.Errorf("swdual: nil database or query set")
+	}
+	params, err := opt.params()
+	if err != nil {
+		return nil, err
+	}
+	policy, err := opt.policy()
+	if err != nil {
+		return nil, err
+	}
+	cpus, gpus := opt.workers()
+	workers := bench.BuildWorkers(params, cpus, gpus, opt.TopK)
+	m, err := master.New(db.set, queries.set, workers, master.Config{Policy: policy, TopK: opt.TopK})
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// Alignment is a full pairwise local alignment with traceback.
+type Alignment struct {
+	Score    int
+	Identity float64
+	CIGAR    string
+	Text     string // BLAST-like three-line rendering
+}
+
+// AlignPair computes the optimal local alignment of two ASCII protein
+// sequences with full traceback.
+func AlignPair(a, b string, opt Options) (*Alignment, error) {
+	params, err := opt.params()
+	if err != nil {
+		return nil, err
+	}
+	ea, err := alphabet.Protein.Encode([]byte(strings.ToUpper(a)))
+	if err != nil {
+		return nil, err
+	}
+	eb, err := alphabet.Protein.Encode([]byte(strings.ToUpper(b)))
+	if err != nil {
+		return nil, err
+	}
+	al := sw.Align(params, ea, eb)
+	return &Alignment{
+		Score:    al.Score,
+		Identity: al.Identity(),
+		CIGAR:    al.CIGAR(),
+		Text:     al.Format(alphabet.Protein),
+	}, nil
+}
+
+// ScorePair returns just the optimal local alignment score of two ASCII
+// protein sequences.
+func ScorePair(a, b string, opt Options) (int, error) {
+	params, err := opt.params()
+	if err != nil {
+		return 0, err
+	}
+	ea, err := alphabet.Protein.Encode([]byte(strings.ToUpper(a)))
+	if err != nil {
+		return 0, err
+	}
+	eb, err := alphabet.Protein.Encode([]byte(strings.ToUpper(b)))
+	if err != nil {
+		return 0, err
+	}
+	return sw.Score(params, ea, eb), nil
+}

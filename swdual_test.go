@@ -1,0 +1,195 @@
+package swdual_test
+
+import (
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"swdual"
+)
+
+func TestAlignPair(t *testing.T) {
+	al, err := swdual.AlignPair("MKWVTFISLL", "MKWVTFISLL", swdual.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Identity != 1.0 {
+		t.Fatalf("self alignment identity %v", al.Identity)
+	}
+	if al.CIGAR != "10M" {
+		t.Fatalf("self alignment CIGAR %q", al.CIGAR)
+	}
+	score, err := swdual.ScorePair("MKWVTFISLL", "MKWVTFISLL", swdual.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != al.Score {
+		t.Fatalf("ScorePair %d != AlignPair %d", score, al.Score)
+	}
+	if _, err := swdual.AlignPair("MKW#", "MKW", swdual.Options{}); err == nil {
+		t.Fatal("expected error for invalid residue")
+	}
+}
+
+func TestSearchPoliciesAgree(t *testing.T) {
+	db, err := swdual.GenerateDatabase("UniProt", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := swdual.GenerateQueries("standard", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *swdual.Report
+	for _, policy := range []string{"dual-approx", "dual-approx-dp", "self-scheduling", "round-robin"} {
+		rep, err := swdual.Search(db, queries, swdual.Options{CPUs: 2, GPUs: 2, TopK: 5, Policy: policy})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if len(rep.Results) != queries.Len() {
+			t.Fatalf("%s: %d results for %d queries", policy, len(rep.Results), queries.Len())
+		}
+		if ref == nil {
+			ref = rep
+			continue
+		}
+		for qi := range rep.Results {
+			got, want := rep.Results[qi].Hits, ref.Results[qi].Hits
+			if len(got) != len(want) {
+				t.Fatalf("%s query %d: %d hits vs %d", policy, qi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Score != want[i].Score || got[i].SeqIndex != want[i].SeqIndex {
+					t.Fatalf("%s query %d hit %d: (%d,%d) vs (%d,%d)", policy, qi, i,
+						got[i].SeqIndex, got[i].Score, want[i].SeqIndex, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func TestDatabaseRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := swdual.GenerateDatabase("Ensembl Rat Proteins", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "db.swdb")
+	fa := filepath.Join(dir, "db.fasta")
+	if err := db.SaveBinary(bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveFASTA(fa); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := swdual.LoadBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFA, err := swdual.LoadFASTA(fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromBin.Len() != db.Len() || fromFA.Len() != db.Len() {
+		t.Fatalf("round trip lengths: bin %d fasta %d want %d", fromBin.Len(), fromFA.Len(), db.Len())
+	}
+	for i := 0; i < db.Len(); i++ {
+		id0, res0 := db.Sequence(i)
+		id1, res1 := fromBin.Sequence(i)
+		id2, res2 := fromFA.Sequence(i)
+		if id0 != id1 || res0 != res1 {
+			t.Fatalf("binary round trip mismatch at %d", i)
+		}
+		if id0 != id2 || res0 != res2 {
+			t.Fatalf("fasta round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestPlanPaperScale(t *testing.T) {
+	plan, err := swdual.PaperPlatformPlan("UniProt", "standard", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table IV: 142.98 s at 8 workers; the model must land in the
+	// same regime (±25%).
+	if plan.Makespan < 107 || plan.Makespan > 179 {
+		t.Fatalf("8-worker UniProt plan %.2f s, want within 25%% of 142.98", plan.Makespan)
+	}
+	if plan.Makespan < plan.LowerBound {
+		t.Fatalf("makespan %.2f below lower bound %.2f", plan.Makespan, plan.LowerBound)
+	}
+	if plan.Makespan > 2*plan.LowerBound {
+		t.Fatalf("makespan %.2f violates the 2x guarantee against LB %.2f", plan.Makespan, plan.LowerBound)
+	}
+}
+
+func TestClusterEndToEnd(t *testing.T) {
+	db, err := swdual.GenerateDatabase("RefSeq Mouse Proteins", 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := swdual.GenerateQueries("standard", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	opt := swdual.Options{TopK: 3}
+	var wg sync.WaitGroup
+	for i, kind := range []string{"cpu", "gpu"} {
+		wg.Add(1)
+		go func(i int, kind string) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Errorf("worker dial: %v", err)
+				return
+			}
+			if err := swdual.ConnectWorker(conn, db, kind, "", opt); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}(i, kind)
+	}
+	rep, err := swdual.ServeMaster(l, db, queries, 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(rep.Results) != queries.Len() {
+		t.Fatalf("%d results for %d queries", len(rep.Results), queries.Len())
+	}
+	// Compare against an in-process run.
+	local, err := swdual.Search(db, queries, swdual.Options{CPUs: 1, GPUs: 1, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range rep.Results {
+		got := rep.Results[qi].Hits
+		want := local.Results[qi].Hits
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d hits vs %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if int(got[i].Score) != want[i].Score || int(got[i].SeqIndex) != want[i].SeqIndex {
+				t.Fatalf("query %d hit %d mismatch", qi, i)
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := swdual.GenerateDatabase("NotADatabase", 1); err == nil {
+		t.Fatal("expected error for unknown preset")
+	}
+	if _, err := swdual.GenerateQueries("nope", 1); err == nil {
+		t.Fatal("expected error for unknown query set")
+	}
+	if _, err := swdual.Search(nil, nil, swdual.Options{}); err == nil {
+		t.Fatal("expected error for nil databases")
+	}
+}
