@@ -11,8 +11,10 @@ package swdual_test
 // benchmark output; EXPERIMENTS.md records the full tables.
 
 import (
+	"context"
 	"testing"
 
+	"swdual"
 	"swdual/internal/alphabet"
 	"swdual/internal/bench"
 	"swdual/internal/cudasw"
@@ -24,6 +26,55 @@ import (
 	"swdual/internal/swvector"
 	"swdual/internal/synth"
 )
+
+// BenchmarkSearchOneShot measures the seed's per-call path: every search
+// rebuilds workers, profiles and scheduler state from scratch.
+func BenchmarkSearchOneShot(b *testing.B) {
+	db, queries := benchSearchData(b)
+	opt := swdual.Options{CPUs: 2, GPUs: 2, TopK: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := swdual.Search(db, queries, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchPersistent measures the same search through one
+// long-lived Searcher: preparation and the worker pool are paid once,
+// outside the loop.
+func BenchmarkSearchPersistent(b *testing.B) {
+	db, queries := benchSearchData(b)
+	s, err := swdual.NewSearcher(db, swdual.Options{CPUs: 2, GPUs: 2, TopK: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Search(ctx, queries, swdual.SearchOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := s.Stats(); st.Prepared != 1 {
+		b.Fatalf("database prepared %d times across %d searches", st.Prepared, b.N)
+	}
+}
+
+func benchSearchData(b *testing.B) (db, queries *swdual.Database) {
+	b.Helper()
+	db, err := swdual.GenerateDatabase("UniProt", 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err = swdual.GenerateQueries("standard", 400)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, queries
+}
 
 // BenchmarkTable1Applications regenerates Table I (application registry).
 func BenchmarkTable1Applications(b *testing.B) {

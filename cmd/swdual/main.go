@@ -7,12 +7,20 @@
 //	swdual -db db.fasta -query q.fasta -cpus 2 -gpus 2
 //	swdual -db db.swdb -query q.fasta -policy self-scheduling -topk 5
 //	swdual -db db.fasta -query q.fasta -plan        # schedule only
+//	swdual -db db.fasta -serve :4015                # persistent engine
+//	swdual -remote host:4015 -query q.fasta         # query a served engine
+//
+// Serve mode loads the database once, keeps the worker pool alive, and
+// answers every client over the wire protocol; queries from concurrent
+// clients coalesce into shared scheduling waves.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"strings"
 
 	"swdual"
@@ -33,19 +41,11 @@ func main() {
 		policy   = flag.String("policy", "dual-approx", "allocation policy: dual-approx | dual-approx-dp | self-scheduling | round-robin")
 		planOnly = flag.Bool("plan", false, "print the modeled schedule instead of searching")
 		evalues  = flag.Bool("evalue", false, "report bit scores and E-values next to each hit")
+		serve    = flag.String("serve", "", "serve the database persistently on this address instead of searching")
+		remote   = flag.String("remote", "", "send the queries to a serve-mode engine at this address")
 	)
 	flag.Parse()
-	if *dbPath == "" || *qPath == "" {
-		log.Fatal("both -db and -query are required")
-	}
-	db, err := load(*dbPath)
-	if err != nil {
-		log.Fatalf("loading database: %v", err)
-	}
-	queries, err := load(*qPath)
-	if err != nil {
-		log.Fatalf("loading queries: %v", err)
-	}
+
 	opt := swdual.Options{
 		Matrix:    *matrix,
 		GapStart:  *gapS,
@@ -54,6 +54,60 @@ func main() {
 		GPUs:      *gpus,
 		TopK:      *topk,
 		Policy:    *policy,
+	}
+
+	if *remote != "" {
+		if *qPath == "" {
+			log.Fatal("-remote requires -query")
+		}
+		if *planOnly || *evalues {
+			log.Fatal("-plan and -evalue run locally and do not apply to -remote")
+		}
+		queries, err := load(*qPath)
+		if err != nil {
+			log.Fatalf("loading queries: %v", err)
+		}
+		rep, err := swdual.QueryServer(*remote, queries, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResults(rep, queries, nil)
+		fmt.Printf("\n%d queries answered by %s\n", len(rep.Results), *remote)
+		return
+	}
+
+	if *dbPath == "" {
+		log.Fatal("-db is required")
+	}
+	db, err := load(*dbPath)
+	if err != nil {
+		log.Fatalf("loading database: %v", err)
+	}
+
+	if *serve != "" {
+		s, err := swdual.NewSearcher(db, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+		l, err := net.Listen("tcp", *serve)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving %d sequences (%d residues, checksum %08x) on %s with %d CPU + %d GPU workers",
+			db.Len(), db.TotalResidues(), s.Checksum(), l.Addr(), *cpus, *gpus)
+		if err := s.Serve(l); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *qPath == "" {
+		log.Fatal("both -db and -query are required")
+	}
+	queries, err := load(*qPath)
+	if err != nil {
+		log.Fatalf("loading queries: %v", err)
 	}
 	if *planOnly {
 		plan, err := swdual.Plan(db, queries, opt)
@@ -68,7 +122,13 @@ func main() {
 		}
 		return
 	}
-	rep, err := swdual.Search(db, queries, opt)
+
+	s, err := swdual.NewSearcher(db, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	rep, err := s.Search(context.Background(), queries, swdual.SearchOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,23 +139,36 @@ func main() {
 			log.Fatalf("statistics unavailable: %v", err)
 		}
 	}
-	dbRes := db.TotalResidues()
-	for qi, r := range rep.Results {
-		fmt.Printf("query %s (worker %s):\n", r.QueryID, r.Worker)
-		qlen := len(queries.Set().Seqs[qi].Residues)
-		for _, h := range r.Hits {
-			if stats != nil {
-				fmt.Printf("  %-24s score %5d  bits %7.1f  E %.3g\n",
-					h.SeqID, h.Score, stats.BitScore(h.Score), stats.EValue(h.Score, qlen, dbRes))
-				continue
-			}
-			fmt.Printf("  %-24s score %d\n", h.SeqID, h.Score)
+	printResults(rep, queries, func(score, qlen int) string {
+		if stats == nil {
+			return ""
 		}
-	}
+		return fmt.Sprintf("  bits %7.1f  E %.3g", stats.BitScore(score), stats.EValue(score, qlen, db.TotalResidues()))
+	})
 	fmt.Printf("\n%d queries, %d cells, wall %v, %.3f GCUPS, policy %v\n",
 		len(rep.Results), rep.Cells, rep.Wall, rep.GCUPS, rep.Policy)
 	if rep.Schedule != nil {
 		fmt.Printf("modeled makespan %.2f s, idle %.2f%%\n", rep.SimMakespan, 100*rep.IdleFraction)
+	}
+}
+
+// printResults renders per-query hits; extra (optional) appends
+// statistics columns computed from (score, query length).
+func printResults(rep *swdual.Report, queries *swdual.Database, extra func(score, qlen int) string) {
+	for qi, r := range rep.Results {
+		if r.Worker != "" {
+			fmt.Printf("query %s (worker %s):\n", r.QueryID, r.Worker)
+		} else {
+			fmt.Printf("query %s:\n", r.QueryID)
+		}
+		qlen := len(queries.Set().Seqs[qi].Residues)
+		for _, h := range r.Hits {
+			suffix := ""
+			if extra != nil {
+				suffix = extra(h.Score, qlen)
+			}
+			fmt.Printf("  %-24s score %5d%s\n", h.SeqID, h.Score, suffix)
+		}
 	}
 }
 

@@ -1,11 +1,14 @@
-// dbsearch: the paper's core experiment at laptop scale — search the
-// standard 40-query set against a scaled synthetic UniProt on a hybrid
-// platform, and compare the realized split with the paper-scale plan.
+// dbsearch: the paper's core experiment at laptop scale — a persistent
+// Searcher over a scaled synthetic UniProt serving the standard 40-query
+// set, first as one request, then as eight concurrent clients whose
+// queries coalesce into shared scheduling waves.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	"swdual"
 )
@@ -25,8 +28,15 @@ func main() {
 	fmt.Printf("database: %d sequences, %d residues\n", db.Len(), db.TotalResidues())
 	fmt.Printf("queries:  %d sequences, %d residues\n\n", queries.Len(), queries.TotalResidues())
 
-	opt := swdual.Options{CPUs: 4, GPUs: 4, TopK: 3}
-	rep, err := swdual.Search(db, queries, opt)
+	// The database is prepared once; the 4 CPU + 4 GPU workers live for
+	// every request below.
+	searcher, err := swdual.NewSearcher(db, swdual.Options{CPUs: 4, GPUs: 4, TopK: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer searcher.Close()
+
+	rep, err := searcher.Search(context.Background(), queries, swdual.SearchOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,6 +50,29 @@ func main() {
 	if rep.Schedule != nil {
 		fmt.Printf("modeled makespan %.3f s, idle %.2f%%\n\n", rep.SimMakespan, 100*rep.IdleFraction)
 	}
+
+	// Eight concurrent clients hammer the same Searcher; requests landing
+	// in the same batch window are scheduled as one wave.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q, err := swdual.GenerateQueries("standard", 100+i)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := searcher.Search(context.Background(), q, swdual.SearchOptions{}); err != nil {
+				log.Fatal(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := searcher.Stats()
+	fmt.Printf("served %d searches (%d queries) in %d waves, %d waves coalesced concurrent requests\n",
+		st.Searches, st.Queries, st.Waves, st.BatchedWaves)
+	fmt.Printf("preparation passes: %d (database loaded once), workers started: %d\n\n",
+		st.Prepared, st.WorkersStarted)
 
 	// The same search planned at full paper scale (537,505 sequences, 8
 	// Tesla C2050 + 8 CPU platform shape: 4 GPU + 4 CPU workers).

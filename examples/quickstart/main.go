@@ -1,8 +1,10 @@
-// Quickstart: align two sequences, then search a tiny in-memory database
-// on a hybrid 1 CPU + 1 GPU platform.
+// Quickstart: align two sequences, then stand up a persistent Searcher
+// over a tiny in-memory database and run two searches through it on a
+// hybrid 1 CPU + 1 GPU platform.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,10 +24,10 @@ func main() {
 	fmt.Printf("pairwise score %d, identity %.1f%%, CIGAR %s\n", al.Score, 100*al.Identity, al.CIGAR)
 	fmt.Println(al.Text)
 
-	// A small database search: every query is compared to every database
-	// sequence; the dual-approximation scheduler splits queries between
-	// the CPU worker (SWIPE-style SWAR engine) and the GPU worker
-	// (CUDASW++-style engine on a simulated Tesla C2050).
+	// A persistent search engine: the database is prepared once and the
+	// CPU worker (SWIPE-style SWAR engine) and GPU worker (CUDASW++-style
+	// engine on a simulated Tesla C2050) stay alive between searches; the
+	// dual-approximation scheduler splits every request between them.
 	db, err := swdual.FromSequences(
 		[]string{"albumin-like", "kinase-like", "random-1", "random-2"},
 		[]string{
@@ -37,23 +39,34 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	queries, err := swdual.FromSequences(
-		[]string{"q-albumin", "q-kinase"},
-		[]string{
-			"MKWVTALISLLFLFSSAYSRGVFRRDAHKSEVNHRFKDLGEENFK",
-			"MGSNKSKPKDASQRRRSLEPAENVHGAGGGAFPASQTPSKPASAD",
-		})
+	searcher, err := swdual.NewSearcher(db, swdual.Options{CPUs: 1, GPUs: 1, TopK: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := swdual.Search(db, queries, swdual.Options{CPUs: 1, GPUs: 1, TopK: 3})
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, r := range rep.Results {
-		fmt.Printf("query %s (executed on %s):\n", r.QueryID, r.Worker)
-		for _, h := range r.Hits {
-			fmt.Printf("  %-14s score %d\n", h.SeqID, h.Score)
+	defer searcher.Close()
+
+	for _, q := range []struct{ id, residues string }{
+		{"q-albumin", "MKWVTALISLLFLFSSAYSRGVFRRDAHKSEVNHRFKDLGEENFK"},
+		{"q-kinase", "MGSNKSKPKDASQRRRSLEPAENVHGAGGGAFPASQTPSKPASAD"},
+	} {
+		queries, err := swdual.FromSequences([]string{q.id}, []string{q.residues})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := searcher.Search(context.Background(), queries, swdual.SearchOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rep.Results {
+			fmt.Printf("query %s (executed on %s):\n", r.QueryID, r.Worker)
+			for _, h := range r.Hits {
+				fmt.Printf("  %-14s score %d\n", h.SeqID, h.Score)
+			}
 		}
 	}
+
+	// Both searches shared one preparation pass and one worker pool.
+	st := searcher.Stats()
+	fmt.Printf("\nsearches %d, preparation passes %d, workers started %d\n",
+		st.Searches, st.Prepared, st.WorkersStarted)
 }

@@ -1,0 +1,3 @@
+module swdual
+
+go 1.24

@@ -414,7 +414,7 @@ func (r *Runner) FunctionalValidation() (*Table, error) {
 
 	params := sw.DefaultParams()
 	gpus, cpus := WorkerSplit(r.cfg.FunctionalWorkers)
-	workers := BuildWorkers(params, cpus, gpus, 10)
+	workers := master.BuildWorkers(params, cpus, gpus, 10)
 	m, err := master.New(db, queries, workers, master.Config{Policy: master.PolicyDualApprox, TopK: 10})
 	if err != nil {
 		return nil, err
@@ -453,21 +453,4 @@ func (r *Runner) FunctionalValidation() (*Table, error) {
 		return t, fmt.Errorf("bench: functional validation found %d mismatching queries", mismatches)
 	}
 	return t, nil
-}
-
-// BuildWorkers assembles the standard hybrid worker set: CPU workers run
-// the SWIPE-style inter-sequence engine, GPU workers run the CUDASW++-
-// style engine each on its own simulated C2050.
-func BuildWorkers(params sw.Params, cpus, gpus, topK int) []master.Worker {
-	cal := platform.PaperCalibration()
-	var ws []master.Worker
-	for i := 0; i < gpus; i++ {
-		eng := newGPUEngine(params)
-		ws = append(ws, master.NewGPUWorker(fmt.Sprintf("gpu-%d", i), eng, 24.8, topK))
-	}
-	for i := 0; i < cpus; i++ {
-		ws = append(ws, master.NewEngineWorker(fmt.Sprintf("cpu-%d", i), sched.CPU,
-			swvector.NewInterSeq(params), cal.CPUWorkerGCUPS, topK))
-	}
-	return ws
 }

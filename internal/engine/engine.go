@@ -1,0 +1,438 @@
+// Package engine turns the one-shot master-slave search into a
+// persistent service. A Searcher loads a database once — sequences,
+// residue encoding, length statistics, checksum — and owns a long-lived
+// master.Pool of CPU and GPU workers; many goroutines may then call
+// Search concurrently and share that preparation, the way the paper's
+// long-lived master keeps its workers busy across task waves (§IV) and
+// the way fine-grained parallel search engines amortize database setup
+// across queries (Nguyen & Lavenier 2008).
+//
+// Concurrent requests are coalesced: a dispatcher goroutine collects
+// queries arriving within a short batching window into one wave, runs
+// the configured scheduling policy (dual-approximation by default) over
+// the combined task set, dispatches per-worker queues through the pool,
+// and routes each result back to its originating request. Waves run one
+// at a time, so every wave sees an idle platform — the assumption behind
+// the scheduler's makespan guarantee.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"swdual/internal/master"
+	"swdual/internal/sched"
+	"swdual/internal/seq"
+	"swdual/internal/sw"
+)
+
+// Config tunes a Searcher. The zero value works: 1 CPU + 1 GPU worker,
+// BLOSUM62 defaults from sw.DefaultParams, dual-approximation policy.
+type Config struct {
+	// Params are the alignment parameters shared by all workers.
+	Params sw.Params
+	// CPUs and GPUs size the worker pools (defaults 1 and 1). Ignored
+	// when Workers is set.
+	CPUs, GPUs int
+	// Workers overrides the built-in worker construction.
+	Workers []master.Worker
+	// TopK bounds hits kept per query (default 10). Per-request TopK may
+	// be lower, never higher.
+	TopK int
+	// Policy selects the wave scheduling policy (dual-approx default).
+	Policy master.Policy
+	// Parallelism bounds concurrently computing workers (default
+	// GOMAXPROCS).
+	Parallelism int
+	// BatchWindow controls online batching. Zero (the default) coalesces
+	// instantly: requests that queued up while the previous wave ran are
+	// drained into the next wave without waiting. A positive window
+	// additionally holds each wave open that long for more arrivals
+	// (higher latency, bigger waves). Negative disables coalescing.
+	BatchWindow time.Duration
+	// MaxBatch caps the queries coalesced into one wave (default 1024).
+	MaxBatch int
+}
+
+func (c *Config) defaults() {
+	if c.Params.Matrix == nil {
+		c.Params = sw.DefaultParams()
+	}
+	if c.Workers == nil && c.CPUs == 0 && c.GPUs == 0 {
+		c.CPUs, c.GPUs = 1, 1
+	}
+	if c.TopK <= 0 {
+		c.TopK = 10
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+}
+
+// SearchOptions tunes one Search call.
+type SearchOptions struct {
+	// TopK bounds reported hits per query; 0 uses the Searcher's TopK.
+	// Values above the Searcher's TopK are capped to it.
+	TopK int
+}
+
+// Stats counts what the Searcher has amortized and served. All counters
+// are cumulative since New.
+type Stats struct {
+	DBSequences    int
+	DBResidues     int64
+	DBChecksum     uint32
+	Prepared       int // database preparation passes (1 for the Searcher's lifetime)
+	WorkersStarted int // worker goroutines ever started (pool size; never rebuilt)
+	Searches       uint64
+	Queries        uint64
+	Waves          uint64
+	BatchedWaves   uint64 // waves that coalesced more than one request
+}
+
+// ErrClosed is returned by Search after Close.
+var ErrClosed = errors.New("engine: searcher is closed")
+
+// request is one Search call in flight.
+type request struct {
+	ctx     context.Context
+	queries *seq.Set
+	topK    int
+	merge   *master.Merger
+	// schedule is the wave schedule the request took part in (shared,
+	// read-only; covers the whole wave, not just this request).
+	schedule *sched.Schedule
+	err      atomic.Pointer[error]
+}
+
+func (r *request) fail(err error) {
+	r.err.CompareAndSwap(nil, &err)
+}
+
+// Searcher is a persistent hybrid search service over one database.
+type Searcher struct {
+	cfg Config
+
+	// Prepared once at New, shared by every request.
+	db         *seq.Set
+	dbResidues int64
+	dbLengths  []int
+	checksum   uint32
+
+	pool   *master.Pool
+	submit chan *request
+	quit   chan struct{}
+	done   chan struct{} // dispatcher exited
+	once   func()        // idempotent close
+
+	prepared     atomic.Int64
+	searches     atomic.Uint64
+	queries      atomic.Uint64
+	waves        atomic.Uint64
+	batchedWaves atomic.Uint64
+}
+
+// New prepares the database once and starts the persistent worker pool
+// and the batching dispatcher. Callers own the returned Searcher and
+// must Close it to release the workers.
+func New(db *seq.Set, cfg Config) (*Searcher, error) {
+	if db == nil {
+		return nil, fmt.Errorf("engine: nil database")
+	}
+	cfg.defaults()
+	s := &Searcher{
+		cfg:    cfg,
+		db:     db,
+		submit: make(chan *request),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	s.prepare()
+	workers := cfg.Workers
+	if workers == nil {
+		workers = master.BuildWorkers(cfg.Params, cfg.CPUs, cfg.GPUs, cfg.TopK)
+	}
+	pool, err := master.NewPool(workers, master.PoolConfig{Parallelism: cfg.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	s.pool = pool
+	var closeOnce atomic.Bool
+	s.once = func() {
+		if closeOnce.CompareAndSwap(false, true) {
+			close(s.quit)
+		}
+	}
+	go s.dispatch()
+	return s, nil
+}
+
+// prepare runs the once-per-database work every request reuses: length
+// statistics for the scheduler and a content checksum for serve-mode
+// client verification. Residue encoding already happened when the set
+// was built; keeping the set resident amortizes it.
+func (s *Searcher) prepare() {
+	s.dbResidues = s.db.TotalResidues()
+	s.dbLengths = make([]int, s.db.Len())
+	crc := crc32.NewIEEE()
+	for i := range s.db.Seqs {
+		s.dbLengths[i] = s.db.Seqs[i].Len()
+		crc.Write(s.db.Seqs[i].Residues)
+	}
+	s.checksum = crc.Sum32()
+	s.prepared.Add(1)
+}
+
+// DB returns the loaded database.
+func (s *Searcher) DB() *seq.Set { return s.db }
+
+// DBLengths returns the precomputed database sequence lengths.
+func (s *Searcher) DBLengths() []int { return s.dbLengths }
+
+// Checksum fingerprints the loaded database (CRC-32 of all residues).
+func (s *Searcher) Checksum() uint32 { return s.checksum }
+
+// Stats reports the Searcher's cumulative counters.
+func (s *Searcher) Stats() Stats {
+	return Stats{
+		DBSequences:    s.db.Len(),
+		DBResidues:     s.dbResidues,
+		DBChecksum:     s.checksum,
+		Prepared:       int(s.prepared.Load()),
+		WorkersStarted: s.pool.Size(),
+		Searches:       s.searches.Load(),
+		Queries:        s.queries.Load(),
+		Waves:          s.waves.Load(),
+		BatchedWaves:   s.batchedWaves.Load(),
+	}
+}
+
+// Search compares every query against the database and returns merged,
+// score-sorted hits per query, exactly as a one-shot master run would.
+// It is safe for any number of goroutines to call Search concurrently;
+// concurrent calls may share a scheduling wave. Search honors ctx: on
+// cancellation it returns ctx.Err() and unstarted tasks are skipped.
+func (s *Searcher) Search(ctx context.Context, queries *seq.Set, opts SearchOptions) (*master.Report, error) {
+	if queries == nil {
+		return nil, fmt.Errorf("engine: nil query set")
+	}
+	if queries.Alpha != s.db.Alpha {
+		return nil, fmt.Errorf("engine: query alphabet differs from database alphabet")
+	}
+	topK := opts.TopK
+	if topK <= 0 || topK > s.cfg.TopK {
+		topK = s.cfg.TopK
+	}
+	s.searches.Add(1)
+	s.queries.Add(uint64(queries.Len()))
+	req := &request{
+		ctx:     ctx,
+		queries: queries,
+		topK:    topK,
+		merge:   master.NewMerger(queries.Len()),
+	}
+	if queries.Len() > 0 {
+		select {
+		case s.submit <- req:
+		case <-s.quit:
+			return nil, ErrClosed
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	select {
+	case <-req.merge.Done():
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if errp := req.err.Load(); errp != nil {
+		return nil, *errp
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep := req.merge.Report(s.cfg.Policy, req.schedule)
+	if topK < s.cfg.TopK {
+		for i := range rep.Results {
+			if len(rep.Results[i].Hits) > topK {
+				rep.Results[i].Hits = rep.Results[i].Hits[:topK]
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Close stops the dispatcher, fails pending requests with ErrClosed and
+// shuts the worker pool down. It is idempotent and safe to call
+// concurrently; tasks already accepted by a worker still complete.
+func (s *Searcher) Close() error {
+	s.once()
+	<-s.done
+	return s.pool.Close()
+}
+
+// dispatch is the service loop: collect a wave, schedule it, route
+// results, repeat. Exactly one dispatcher runs per Searcher.
+func (s *Searcher) dispatch() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.quit:
+			return
+		case req := <-s.submit:
+			batch := s.coalesce(req)
+			if batch == nil {
+				return // closed while batching; requests already failed
+			}
+			s.runWave(batch)
+		}
+	}
+}
+
+// coalesce implements online batching: requests already waiting (they
+// arrived while the previous wave ran) are drained into this wave
+// immediately; a positive BatchWindow additionally holds the wave open
+// for late arrivals. Coalescing stops at MaxBatch queries.
+func (s *Searcher) coalesce(first *request) []*request {
+	batch := []*request{first}
+	if s.cfg.BatchWindow < 0 {
+		return batch
+	}
+	n := first.queries.Len()
+	for n < s.cfg.MaxBatch {
+		select {
+		case r := <-s.submit:
+			batch = append(batch, r)
+			n += r.queries.Len()
+			continue
+		default:
+		}
+		break
+	}
+	if s.cfg.BatchWindow == 0 {
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.BatchWindow)
+	defer timer.Stop()
+	for n < s.cfg.MaxBatch {
+		select {
+		case r := <-s.submit:
+			batch = append(batch, r)
+			n += r.queries.Len()
+		case <-timer.C:
+			return batch
+		case <-s.quit:
+			for _, r := range batch {
+				s.abandon(r)
+			}
+			return nil
+		}
+	}
+	return batch
+}
+
+// abandon fails a request that will never be dispatched.
+func (s *Searcher) abandon(r *request) {
+	r.fail(ErrClosed)
+	for i := 0; i < r.queries.Len(); i++ {
+		r.merge.Skip(i)
+	}
+}
+
+// waveEntry addresses one query of one request within a wave.
+type waveEntry struct {
+	req   *request
+	local int // query index within the request
+}
+
+// runWave schedules and executes one combined wave, blocking until every
+// result of every participating request was merged or skipped. Running
+// waves sequentially keeps the platform idle at each scheduling decision.
+func (s *Searcher) runWave(batch []*request) {
+	s.waves.Add(1)
+	if len(batch) > 1 {
+		s.batchedWaves.Add(1)
+	}
+	var entries []waveEntry
+	var lens []int
+	var ids []string
+	for _, r := range batch {
+		for qi := range r.queries.Seqs {
+			entries = append(entries, waveEntry{req: r, local: qi})
+			lens = append(lens, r.queries.Seqs[qi].Len())
+			ids = append(ids, r.queries.Seqs[qi].ID)
+		}
+	}
+
+	task := func(gi int) master.PoolTask {
+		e := entries[gi]
+		return master.PoolTask{
+			QueryIndex: e.local,
+			Query:      &e.req.queries.Seqs[e.local],
+			DB:         s.db,
+			Canceled:   func() bool { return e.req.ctx.Err() != nil },
+			Done: func(res master.QueryResult, ran bool) {
+				if !ran {
+					e.req.fail(e.req.ctx.Err())
+					e.req.merge.Skip(e.local)
+					return
+				}
+				e.req.merge.Add(e.local, res)
+			},
+		}
+	}
+	// feed hands one queue of wave-global indices to its destination in
+	// order; on pool shutdown the remainder is skipped so merges still
+	// complete and callers observe ErrClosed.
+	feed := func(queue []int, send func(master.PoolTask) error) {
+		for i, gi := range queue {
+			if err := send(task(gi)); err != nil {
+				for _, rest := range queue[i:] {
+					entries[rest].req.fail(err)
+					entries[rest].req.merge.Skip(entries[rest].local)
+				}
+				return
+			}
+		}
+	}
+
+	workers := s.pool.Workers()
+	if s.cfg.Policy == master.PolicySelfScheduling {
+		all := make([]int, len(entries))
+		for i := range all {
+			all[i] = i
+		}
+		go feed(all, s.pool.SubmitShared)
+	} else {
+		in := master.BuildInstance(s.dbResidues, lens, ids, s.pool.Rates())
+		queues, schedule, err := master.Assign(s.cfg.Policy, in, workers)
+		if err != nil {
+			for _, r := range batch {
+				r.fail(err)
+				s.abandon(r)
+			}
+			return
+		}
+		for _, r := range batch {
+			r.schedule = schedule
+		}
+		for wi, queue := range queues {
+			if len(queue) == 0 {
+				continue
+			}
+			wi := wi
+			go feed(queue, func(t master.PoolTask) error { return s.pool.Submit(wi, t) })
+		}
+	}
+	for _, r := range batch {
+		<-r.merge.Done()
+	}
+}

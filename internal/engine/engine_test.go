@@ -1,0 +1,331 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/master"
+	"swdual/internal/sched"
+	"swdual/internal/seq"
+	"swdual/internal/sw"
+	"swdual/internal/synth"
+)
+
+func testSets(dbSeed, qSeed int64, dbN, qN int) (db, queries *seq.Set) {
+	db = synth.RandomSet(alphabet.Protein, dbN, 10, 200, dbSeed)
+	queries = synth.RandomSet(alphabet.Protein, qN, 20, 120, qSeed)
+	return db, queries
+}
+
+// oneShot runs the seed's per-call path: fresh workers, fresh master,
+// full teardown.
+func oneShot(t *testing.T, db, queries *seq.Set, topK int) *master.Report {
+	t.Helper()
+	workers := master.BuildWorkers(sw.DefaultParams(), 2, 2, topK)
+	m, err := master.New(db, queries, workers, master.Config{TopK: topK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func sameHits(t *testing.T, label string, got, want *master.Report) {
+	t.Helper()
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("%s: %d results, want %d", label, len(got.Results), len(want.Results))
+	}
+	for qi := range got.Results {
+		a, b := got.Results[qi].Hits, want.Results[qi].Hits
+		if len(a) != len(b) {
+			t.Fatalf("%s query %d: %d hits vs %d", label, qi, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s query %d hit %d: %+v vs %+v", label, qi, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSearchMatchesOneShot(t *testing.T) {
+	db, queries := testSets(1, 2, 50, 10)
+	s, err := New(db, Config{CPUs: 2, GPUs: 2, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rep, err := s.Search(context.Background(), queries, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHits(t, "persistent", rep, oneShot(t, db, queries, 5))
+	if rep.Schedule == nil {
+		t.Fatal("dual-approx wave must carry a schedule")
+	}
+	if rep.Cells <= 0 || rep.GCUPS <= 0 {
+		t.Fatalf("accounting: cells %d gcups %f", rep.Cells, rep.GCUPS)
+	}
+}
+
+// TestSequentialSearchesSkipPreparation is the amortization guarantee:
+// the second Search on the same Searcher must not rebuild profiles,
+// length statistics or workers.
+func TestSequentialSearchesSkipPreparation(t *testing.T) {
+	db, queries := testSets(3, 4, 40, 8)
+	s, err := New(db, Config{CPUs: 1, GPUs: 1, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	before := s.Stats()
+	if before.Prepared != 1 {
+		t.Fatalf("prepared %d times before first search, want 1", before.Prepared)
+	}
+	first, err := s.Search(context.Background(), queries, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Search(context.Background(), queries, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHits(t, "second call", second, first)
+	after := s.Stats()
+	if after.Prepared != 1 {
+		t.Fatalf("database re-prepared: %d passes after two searches", after.Prepared)
+	}
+	if after.WorkersStarted != before.WorkersStarted || after.WorkersStarted != 2 {
+		t.Fatalf("worker pool rebuilt: %d started before, %d after", before.WorkersStarted, after.WorkersStarted)
+	}
+	if after.Searches != 2 || after.Queries != uint64(2*queries.Len()) {
+		t.Fatalf("stats: %+v", after)
+	}
+}
+
+// TestConcurrentCallers hammers one Searcher from 8 goroutines (run
+// under -race) and checks every caller gets exactly the hits a serial
+// one-shot search of its query set produces.
+func TestConcurrentCallers(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 50, 10, 200, 7)
+	s, err := New(db, Config{CPUs: 2, GPUs: 2, TopK: 5, BatchWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const callers = 8
+	var wg sync.WaitGroup
+	reports := make([]*master.Report, callers)
+	querySets := make([]*seq.Set, callers)
+	for i := range querySets {
+		querySets[i] = synth.RandomSet(alphabet.Protein, 4, 20, 120, int64(100+i))
+	}
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = s.Search(context.Background(), querySets[i], SearchOptions{})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		sameHits(t, "caller", reports[i], oneShot(t, db, querySets[i], 5))
+	}
+	if st := s.Stats(); st.Searches != callers {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// gateWorker blocks in Run until released, letting tests hold a wave
+// open deterministically instead of racing wall-clock sleeps.
+type gateWorker struct {
+	name    string
+	started chan struct{} // closed when the first task starts running
+	release chan struct{} // Run returns once this is closed
+	once    sync.Once
+}
+
+func newGateWorker(name string) *gateWorker {
+	return &gateWorker{name: name, started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (w *gateWorker) Name() string       { return w.name }
+func (w *gateWorker) Kind() sched.Kind   { return sched.CPU }
+func (w *gateWorker) RateGCUPS() float64 { return 1 }
+func (w *gateWorker) Run(qi int, q *seq.Sequence, db *seq.Set) master.QueryResult {
+	w.once.Do(func() { close(w.started) })
+	<-w.release
+	return master.QueryResult{QueryIndex: qi, QueryID: q.ID, Worker: w.name, Elapsed: time.Nanosecond, Cells: 1}
+}
+
+// TestBatchingCoalescesConcurrentRequests pins the single worker inside
+// wave 1, queues four more requests behind it, and checks they coalesce
+// into a shared wave once the worker is released.
+func TestBatchingCoalescesConcurrentRequests(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 10, 10, 50, 9)
+	gw := newGateWorker("gate-0")
+	s, err := New(db, Config{Workers: []master.Worker{gw}, TopK: 3, BatchWindow: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	search := func(i int) {
+		defer wg.Done()
+		q := synth.RandomSet(alphabet.Protein, 1, 20, 40, int64(200+i))
+		if _, err := s.Search(context.Background(), q, SearchOptions{}); err != nil {
+			t.Errorf("caller %d: %v", i, err)
+		}
+	}
+	wg.Add(1)
+	go search(0)
+	<-gw.started // wave 1 is now in flight and the worker pinned
+	const queued = 4
+	for i := 1; i <= queued; i++ {
+		wg.Add(1)
+		go search(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let the callers reach the submit queue
+	close(gw.release)
+	wg.Wait()
+	st := s.Stats()
+	if st.BatchedWaves == 0 {
+		t.Fatalf("no wave coalesced multiple requests: %+v", st)
+	}
+	if st.Waves >= st.Searches {
+		t.Fatalf("batching saved no waves: %d waves for %d searches", st.Waves, st.Searches)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	db, queries := testSets(11, 12, 20, 3)
+	gw := newGateWorker("gate-0")
+	s, err := New(db, Config{Workers: []master.Worker{gw}, TopK: 5, Policy: master.PolicySelfScheduling})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Already-canceled context: no work happens.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Search(ctx, queries, SearchOptions{}); err != context.Canceled {
+		t.Fatalf("pre-canceled search returned %v", err)
+	}
+
+	// Cancel mid-flight: the gate worker pins the first task, so the
+	// search is provably still running when the context dies. Search
+	// must return the context error and the Searcher must stay usable.
+	ctx, cancel = context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Search(ctx, queries, SearchOptions{})
+		done <- err
+	}()
+	<-gw.started
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("canceled search returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled search did not return")
+	}
+	close(gw.release) // let the pinned task finish; unstarted ones are skipped
+	if _, err := s.Search(context.Background(), queries, SearchOptions{}); err != nil {
+		t.Fatalf("search after cancellation: %v", err)
+	}
+}
+
+func TestCloseIdempotentAndFailsNewSearches(t *testing.T) {
+	db, queries := testSets(13, 14, 20, 4)
+	s, err := New(db, Config{CPUs: 1, GPUs: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Search(context.Background(), queries, SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Close(); err != nil {
+			t.Fatalf("close %d: %v", i, err)
+		}
+	}
+	if _, err := s.Search(context.Background(), queries, SearchOptions{}); err != ErrClosed {
+		t.Fatalf("search after close returned %v, want ErrClosed", err)
+	}
+}
+
+func TestSearchOptionsTopK(t *testing.T) {
+	db, queries := testSets(15, 16, 30, 3)
+	s, err := New(db, Config{CPUs: 1, GPUs: 1, TopK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rep, err := s.Search(context.Background(), queries, SearchOptions{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, res := range rep.Results {
+		if len(res.Hits) != 2 {
+			t.Fatalf("query %d: %d hits, want 2", qi, len(res.Hits))
+		}
+	}
+	// Requests cannot exceed the pool's TopK.
+	rep, err = s.Search(context.Background(), queries, SearchOptions{TopK: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, res := range rep.Results {
+		if len(res.Hits) > 10 {
+			t.Fatalf("query %d: %d hits exceed pool TopK", qi, len(res.Hits))
+		}
+	}
+}
+
+func TestEmptyQuerySet(t *testing.T) {
+	db, _ := testSets(17, 18, 20, 0)
+	s, err := New(db, Config{CPUs: 1, GPUs: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rep, err := s.Search(context.Background(), seq.NewSet(alphabet.Protein), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("%d results for empty query set", len(rep.Results))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("nil database must fail")
+	}
+	db, _ := testSets(19, 20, 10, 0)
+	s, err := New(db, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Search(context.Background(), nil, SearchOptions{}); err == nil {
+		t.Fatal("nil query set must fail")
+	}
+	dna := seq.NewSet(alphabet.DNA)
+	if _, err := s.Search(context.Background(), dna, SearchOptions{}); err == nil {
+		t.Fatal("alphabet mismatch must fail")
+	}
+}

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+
+	"swdual/internal/master"
+	"swdual/internal/seq"
+	"swdual/internal/wire"
+)
+
+// Serve mode: the Searcher exposed over the internal/wire protocol.
+// Unlike the cluster runtime — where the master pushes tasks to remote
+// workers — serve mode inverts the roles: remote clients push queries to
+// a long-lived master. One connection is one search request:
+//
+//	client                               server
+//	Hello{Name, DBChecksum?}  ->
+//	                          <-  Welcome{QueryCount: 0, DBChecksum}
+//	Task{QueryIndex, Residues} -> (repeated)
+//	Done                      ->
+//	                          <-  Result (one per query, in order)
+//	                          <-  Done
+//
+// A non-zero Hello.DBChecksum must match the server database, so a
+// client that also holds the database locally can verify both ends
+// search the same sequences. Residues cross the wire encoded in the
+// server database's alphabet. Concurrent connections are coalesced into
+// shared scheduling waves by the Searcher's dispatcher.
+
+// Serve accepts connections on l and answers each over the wire
+// protocol until the listener is closed (use l.Close to stop). Each
+// connection's queries become one Searcher.Search call, so concurrent
+// clients batch into waves. Serve returns nil when l closes.
+func Serve(l net.Listener, s *Searcher) error {
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer nc.Close()
+			serveConn(wire.NewConn(nc), s)
+		}()
+	}
+}
+
+// serveConn answers one client. Protocol errors end the connection; the
+// client sees the ErrorMsg or the closed stream.
+func serveConn(c *wire.Conn, s *Searcher) {
+	fail := func(err error) { c.Send(&wire.ErrorMsg{Text: err.Error()}) }
+	msg, err := c.Recv()
+	if err != nil {
+		return
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok {
+		fail(fmt.Errorf("engine: expected Hello, got %T", msg))
+		return
+	}
+	if hello.Version != wire.Version {
+		fail(fmt.Errorf("engine: protocol version %d, want %d", hello.Version, wire.Version))
+		return
+	}
+	if hello.DBChecksum != 0 && hello.DBChecksum != s.Checksum() {
+		fail(fmt.Errorf("engine: database checksum mismatch (client %08x, server %08x)", hello.DBChecksum, s.Checksum()))
+		return
+	}
+	if err := c.Send(&wire.Welcome{Version: wire.Version, DBChecksum: s.Checksum()}); err != nil {
+		return
+	}
+	queries := seq.NewSet(s.DB().Alpha)
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			return
+		}
+		if _, done := msg.(wire.Done); done {
+			break
+		}
+		t, ok := msg.(*wire.Task)
+		if !ok {
+			fail(fmt.Errorf("engine: expected Task or Done, got %T", msg))
+			return
+		}
+		if int(t.QueryIndex) != queries.Len() {
+			fail(fmt.Errorf("engine: query %d arrived out of order (want %d)", t.QueryIndex, queries.Len()))
+			return
+		}
+		// Wire bytes are untrusted: an out-of-range residue code would
+		// index past the score profiles inside the kernels and crash the
+		// shared engine, so reject it at the boundary.
+		limit := byte(queries.Alpha.Len())
+		for _, r := range t.Residues {
+			if r >= limit {
+				fail(fmt.Errorf("engine: query %q has residue code %d outside the %s alphabet (max %d); send residues encoded with the server alphabet", t.QueryID, r, queries.Alpha.Name(), limit-1))
+				return
+			}
+		}
+		queries.AddEncoded(t.QueryID, "", t.Residues)
+	}
+	rep, err := s.Search(context.Background(), queries, SearchOptions{})
+	if err != nil {
+		fail(err)
+		return
+	}
+	for qi, res := range rep.Results {
+		if err := c.Send(resultFrame(qi, res)); err != nil {
+			return
+		}
+	}
+	c.Send(nil) // Done
+}
+
+func resultFrame(qi int, res master.QueryResult) *wire.Result {
+	out := &wire.Result{
+		QueryIndex: uint32(qi),
+		ElapsedNS:  uint64(res.Elapsed),
+		SimSeconds: res.SimSeconds,
+		Cells:      uint64(res.Cells),
+	}
+	for _, h := range res.Hits {
+		out.Hits = append(out.Hits, wire.ResultHit{SeqIndex: uint32(h.SeqIndex), Score: int32(h.Score), SeqID: h.SeqID})
+	}
+	return out
+}
+
+// Query runs one search request against a serve-mode endpoint: it
+// registers, streams the queries, and collects one result per query in
+// order. A non-zero wantChecksum makes the server reject a database
+// mismatch. The queries must already be encoded in the server database's
+// alphabet.
+func Query(nc net.Conn, queries *seq.Set, wantChecksum uint32) ([]wire.Result, error) {
+	c := wire.NewConn(nc)
+	if err := c.Send(&wire.Hello{Version: wire.Version, Name: "client", DBChecksum: wantChecksum}); err != nil {
+		return nil, err
+	}
+	msg, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	switch m := msg.(type) {
+	case *wire.Welcome:
+		if wantChecksum != 0 && m.DBChecksum != wantChecksum {
+			return nil, fmt.Errorf("engine: server database checksum %08x, want %08x", m.DBChecksum, wantChecksum)
+		}
+	case *wire.ErrorMsg:
+		return nil, fmt.Errorf("engine: server: %s", m.Text)
+	default:
+		return nil, fmt.Errorf("engine: expected Welcome, got %T", msg)
+	}
+	for qi := range queries.Seqs {
+		t := &wire.Task{QueryIndex: uint32(qi), QueryID: queries.Seqs[qi].ID, Residues: queries.Seqs[qi].Residues}
+		if err := c.Send(t); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Send(nil); err != nil { // Done
+		return nil, err
+	}
+	results := make([]wire.Result, 0, queries.Len())
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			return nil, err
+		}
+		switch m := msg.(type) {
+		case *wire.Result:
+			if int(m.QueryIndex) != len(results) {
+				return nil, fmt.Errorf("engine: result %d arrived out of order (want %d)", m.QueryIndex, len(results))
+			}
+			results = append(results, *m)
+		case wire.Done:
+			if len(results) != queries.Len() {
+				return nil, fmt.Errorf("engine: server returned %d results for %d queries", len(results), queries.Len())
+			}
+			return results, nil
+		case *wire.ErrorMsg:
+			return nil, fmt.Errorf("engine: server: %s", m.Text)
+		default:
+			return nil, fmt.Errorf("engine: unexpected %T", msg)
+		}
+	}
+}

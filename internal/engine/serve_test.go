@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/synth"
+	"swdual/internal/wire"
+)
+
+// TestServeRejectsInvalidResidues sends raw ASCII (not alphabet codes)
+// as residues; the server must refuse at the boundary instead of letting
+// out-of-range codes crash a shared kernel.
+func TestServeRejectsInvalidResidues(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 10, 10, 50, 53)
+	s, err := New(db, Config{CPUs: 1, GPUs: 0, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go Serve(l, s)
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := wire.NewConn(nc)
+	if err := c.Send(&wire.Hello{Version: wire.Version, Name: "bad"}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := c.Recv(); err != nil {
+		t.Fatal(err)
+	} else if _, ok := msg.(*wire.Welcome); !ok {
+		t.Fatalf("expected Welcome, got %T", msg)
+	}
+	if err := c.Send(&wire.Task{QueryIndex: 0, QueryID: "q", Residues: []byte("MKWVTFISLL")}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(*wire.ErrorMsg); !ok {
+		t.Fatalf("expected ErrorMsg for raw-ASCII residues, got %T", msg)
+	}
+	// The server must still be healthy for well-formed clients.
+	nc2, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	queries := synth.RandomSet(alphabet.Protein, 2, 20, 40, 54)
+	if _, err := Query(nc2, queries, s.Checksum()); err != nil {
+		t.Fatalf("server unhealthy after rejected request: %v", err)
+	}
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 40, 10, 150, 51)
+	s, err := New(db, Config{CPUs: 1, GPUs: 1, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- Serve(l, s) }()
+
+	// Several concurrent clients; each must get exactly the hits a local
+	// search of its query set produces.
+	const clients = 4
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			queries := synth.RandomSet(alphabet.Protein, 3, 20, 100, int64(400+i))
+			nc, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				t.Errorf("client %d dial: %v", i, err)
+				return
+			}
+			defer nc.Close()
+			results, err := Query(nc, queries, s.Checksum())
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			local, err := s.Search(context.Background(), queries, SearchOptions{})
+			if err != nil {
+				t.Errorf("client %d local: %v", i, err)
+				return
+			}
+			for qi := range results {
+				got, want := results[qi].Hits, local.Results[qi].Hits
+				if len(got) != len(want) {
+					t.Errorf("client %d query %d: %d hits vs %d", i, qi, len(got), len(want))
+					return
+				}
+				for hi := range got {
+					if int(got[hi].SeqIndex) != want[hi].SeqIndex || int(got[hi].Score) != want[hi].Score {
+						t.Errorf("client %d query %d hit %d mismatch", i, qi, hi)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Checksum mismatch is refused.
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := synth.RandomSet(alphabet.Protein, 1, 20, 40, 52)
+	if _, err := Query(nc, queries, s.Checksum()+1); err == nil {
+		t.Fatal("checksum mismatch accepted")
+	}
+	nc.Close()
+
+	l.Close()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if st := s.Stats(); st.Searches < clients {
+		t.Fatalf("server searches %d < %d clients", st.Searches, clients)
+	}
+}

@@ -1,0 +1,71 @@
+package enginetest
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/engine"
+	"swdual/internal/master"
+	"swdual/internal/sw"
+	"swdual/internal/synth"
+)
+
+// hitBytes serializes a result's hits so "byte-identical" is literal.
+func hitBytes(t *testing.T, results []master.QueryResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, res := range results {
+		binary.Write(&buf, binary.LittleEndian, int64(res.QueryIndex))
+		binary.Write(&buf, binary.LittleEndian, int64(len(res.Hits)))
+		for _, h := range res.Hits {
+			binary.Write(&buf, binary.LittleEndian, int64(h.SeqIndex))
+			binary.Write(&buf, binary.LittleEndian, int64(h.Score))
+			buf.WriteString(h.SeqID)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestPersistentPoolMatchesOneShot is the engine-layer cross-check: a
+// persistent Searcher serving many requests must hand back byte-identical
+// hits to the seed's build-everything-per-call master, for every policy.
+func TestPersistentPoolMatchesOneShot(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 60, 10, 200, 91)
+	params := sw.DefaultParams()
+	for _, policy := range []master.Policy{
+		master.PolicyDualApprox, master.PolicyDualApproxDP,
+		master.PolicySelfScheduling, master.PolicyRoundRobin,
+	} {
+		s, err := engine.New(db, engine.Config{
+			Params: params, CPUs: 2, GPUs: 2, TopK: 5, Policy: policy,
+			BatchWindow: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 3; round++ {
+			queries := synth.RandomSet(alphabet.Protein, 8, 20, 120, int64(700+round))
+			got, err := s.Search(context.Background(), queries, engine.SearchOptions{})
+			if err != nil {
+				t.Fatalf("%v round %d: %v", policy, round, err)
+			}
+			m, err := master.New(db, queries, master.BuildWorkers(params, 2, 2, 5),
+				master.Config{Policy: policy, TopK: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(hitBytes(t, got.Results), hitBytes(t, want.Results)) {
+				t.Fatalf("%v round %d: persistent-pool hits differ from one-shot", policy, round)
+			}
+		}
+		s.Close()
+	}
+}

@@ -1,21 +1,23 @@
 // Package master implements the paper's master-slave model (§IV,
-// Figure 6) for in-process execution: the master generates one task per
-// query sequence, gathers worker capabilities at registration, allocates
-// tasks with a pluggable policy (the dual-approximation scheduler by
-// default), dispatches them, and merges the workers' results.
+// Figure 6) and splits it into its three roles, each reusable on its
+// own: task generation (tasks.go — one task per query, with times
+// estimated from worker-advertised rates), a pluggable scheduling policy
+// (policy.go — the dual-approximation scheduler by default), and result
+// merge (merge.go). Workers run as a persistent Pool (pool.go) of
+// goroutines, each owning a real engine — the SWIPE-style SWAR engine on
+// CPU workers, the simulated-GPU CUDASW++ engine on GPU workers — so a
+// run produces exact alignment scores.
 //
-// Workers run real engines — the SWIPE-style SWAR engine on CPU workers,
-// the simulated-GPU CUDASW++ engine on GPU workers — so a Run produces
-// exact alignment scores; GPU workers additionally report their simulated
-// device time so paper-scale timing experiments and functional runs share
-// one code path.
+// The Master type composes the three roles into the seed's one-shot
+// run; the internal/engine package composes the same pieces into a
+// long-lived service that amortizes preparation across requests.
 package master
 
 import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"swdual/internal/sched"
@@ -56,39 +58,6 @@ type Worker interface {
 	RateGCUPS() float64
 }
 
-// Policy selects how the master allocates tasks to workers.
-type Policy int
-
-// Allocation policies.
-const (
-	// PolicyDualApprox is the paper's one-round dual-approximation
-	// allocation (§III).
-	PolicyDualApprox Policy = iota
-	// PolicyDualApproxDP is the 3/2 dynamic-programming refinement.
-	PolicyDualApproxDP
-	// PolicySelfScheduling is the related-work baseline [10]: idle
-	// workers pull the next task.
-	PolicySelfScheduling
-	// PolicyRoundRobin deals tasks over workers in turn ([11]'s
-	// equal-power assumption).
-	PolicyRoundRobin
-)
-
-// String implements fmt.Stringer.
-func (p Policy) String() string {
-	switch p {
-	case PolicyDualApprox:
-		return "dual-approx"
-	case PolicyDualApproxDP:
-		return "dual-approx-dp"
-	case PolicySelfScheduling:
-		return "self-scheduling"
-	case PolicyRoundRobin:
-		return "round-robin"
-	}
-	return fmt.Sprintf("policy(%d)", int(p))
-}
-
 // Config tunes a master run.
 type Config struct {
 	Policy Policy
@@ -112,7 +81,8 @@ type Report struct {
 	IdleFraction float64
 }
 
-// Master coordinates a search.
+// Master coordinates a one-shot search: it builds a Pool, runs one
+// request through the three roles, and tears the pool down.
 type Master struct {
 	db      *seq.Set
 	queries *seq.Set
@@ -140,184 +110,84 @@ func New(db, queries *seq.Set, workers []Worker, cfg Config) (*Master, error) {
 
 // Instance builds the scheduling instance from worker-advertised rates.
 func (m *Master) Instance() *sched.Instance {
-	cpuRate, gpuRate := 0.0, 0.0
-	cpus, gpus := 0, 0
-	for _, w := range m.workers {
-		if w.Kind() == sched.CPU {
-			cpuRate += w.RateGCUPS()
-			cpus++
-		} else {
-			gpuRate += w.RateGCUPS()
-			gpus++
-		}
-	}
-	if cpus > 0 {
-		cpuRate /= float64(cpus)
-	}
-	if gpus > 0 {
-		gpuRate /= float64(gpus)
-	}
-	in := &sched.Instance{CPUs: cpus, GPUs: gpus}
-	dbRes := m.db.TotalResidues()
-	for i := range m.queries.Seqs {
-		cells := float64(m.queries.Seqs[i].Len()) * float64(dbRes)
-		t := sched.Task{ID: i, Label: m.queries.Seqs[i].ID}
-		if cpus > 0 {
-			t.CPUTime = cells / (cpuRate * 1e9)
-		}
-		if gpus > 0 {
-			t.GPUTime = cells / (gpuRate * 1e9)
-		}
-		in.Tasks = append(in.Tasks, t)
-	}
-	return in
+	return InstanceFor(m.db, m.queries, m.workers)
 }
 
 // Run executes the search: allocate, dispatch, merge (Figure 6).
 func (m *Master) Run() (*Report, error) {
-	start := time.Now()
-	rep := &Report{
-		Policy:      m.cfg.Policy,
-		Results:     make([]QueryResult, m.queries.Len()),
-		WorkerBusy:  map[string]time.Duration{},
-		WorkerTasks: map[string]int{},
-	}
-	var err error
-	switch m.cfg.Policy {
-	case PolicyDualApprox, PolicyDualApproxDP, PolicyRoundRobin:
-		err = m.runOneRound(rep)
-	case PolicySelfScheduling:
-		err = m.runSelfScheduling(rep)
-	default:
-		err = fmt.Errorf("master: unknown policy %v", m.cfg.Policy)
-	}
+	pool, err := NewPool(m.workers, PoolConfig{Parallelism: m.cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
-	rep.Wall = time.Since(start)
-	for i := range rep.Results {
-		rep.Cells += rep.Results[i].Cells
-	}
-	if s := rep.Wall.Seconds(); s > 0 {
-		rep.GCUPS = float64(rep.Cells) / s / 1e9
-	}
-	if rep.Schedule != nil {
-		rep.SimMakespan = rep.Schedule.Makespan
-		rep.IdleFraction = rep.Schedule.IdleFraction()
-	}
-	return rep, nil
+	defer pool.Close()
+	return RunOn(pool, m.db, m.queries, m.cfg)
 }
 
-// runOneRound allocates every task up front, then lets each worker drain
-// its own queue — the paper's one-round master-slave mode.
-func (m *Master) runOneRound(rep *Report) error {
-	queues := make([][]int, len(m.workers))
-	switch m.cfg.Policy {
-	case PolicyRoundRobin:
-		for i := range m.queries.Seqs {
-			w := i % len(m.workers)
-			queues[w] = append(queues[w], i)
+// RunOn executes one request on an existing pool: generate tasks, assign
+// them with the configured policy, dispatch, and merge. It never closes
+// the pool, so a persistent caller can run many requests through one
+// pool. RunOn returns ErrPoolClosed if the pool shuts down mid-request.
+func RunOn(pool *Pool, db, queries *seq.Set, cfg Config) (*Report, error) {
+	workers := pool.Workers()
+	merge := NewMerger(queries.Len())
+	var schedule *sched.Schedule
+	var failed atomic.Bool
+
+	task := func(qi int) PoolTask {
+		return PoolTask{
+			QueryIndex: qi,
+			Query:      &queries.Seqs[qi],
+			DB:         db,
+			Done:       func(res QueryResult, _ bool) { merge.Add(res.QueryIndex, res) },
 		}
-	default:
-		in := m.Instance()
-		var s *sched.Schedule
-		var err error
-		if m.cfg.Policy == PolicyDualApproxDP {
-			s, err = sched.DualApproxDP(in)
-		} else {
-			s, err = sched.DualApprox(in)
+	}
+	// feed submits one queue in order; on pool shutdown it skips the
+	// remainder so the merge still completes.
+	feed := func(queue []int, send func(PoolTask) error) {
+		for i, qi := range queue {
+			if err := send(task(qi)); err != nil {
+				failed.Store(true)
+				for _, rest := range queue[i:] {
+					merge.Skip(rest)
+				}
+				return
+			}
 		}
+	}
+
+	if cfg.Policy == PolicySelfScheduling {
+		go feed(identity(queries.Len()), pool.SubmitShared)
+	} else {
+		in := InstanceFor(db, queries, workers)
+		queues, s, err := Assign(cfg.Policy, in, workers)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		rep.Schedule = s
-		// Map (kind, pe) pairs onto concrete workers.
-		cpuIdx, gpuIdx := []int{}, []int{}
-		for wi, w := range m.workers {
-			if w.Kind() == sched.CPU {
-				cpuIdx = append(cpuIdx, wi)
-			} else {
-				gpuIdx = append(gpuIdx, wi)
+		schedule = s
+		// Feed each worker's queue from its own goroutine so one busy
+		// worker never delays another's first task.
+		for wi, queue := range queues {
+			if len(queue) == 0 {
+				continue
 			}
-		}
-		// Dispatch per PE in schedule start order.
-		type job struct {
-			task  int
-			start float64
-		}
-		perPE := map[int][]job{}
-		for _, pl := range s.Placements {
-			var wi int
-			if pl.Kind == sched.CPU {
-				wi = cpuIdx[pl.PE]
-			} else {
-				wi = gpuIdx[pl.PE]
-			}
-			perPE[wi] = append(perPE[wi], job{task: pl.Task, start: pl.Start})
-		}
-		for wi, jobs := range perPE {
-			sort.Slice(jobs, func(a, b int) bool { return jobs[a].start < jobs[b].start })
-			for _, j := range jobs {
-				queues[wi] = append(queues[wi], j.task)
-			}
+			wi := wi
+			go feed(queue, func(t PoolTask) error { return pool.Submit(wi, t) })
 		}
 	}
-
-	sem := make(chan struct{}, m.cfg.Parallelism)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	for wi, queue := range queues {
-		if len(queue) == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(wi int, queue []int) {
-			defer wg.Done()
-			w := m.workers[wi]
-			for _, qi := range queue {
-				sem <- struct{}{}
-				res := w.Run(qi, &m.queries.Seqs[qi], m.db)
-				<-sem
-				mu.Lock()
-				rep.Results[qi] = res
-				rep.WorkerBusy[w.Name()] += res.Elapsed
-				rep.WorkerTasks[w.Name()]++
-				mu.Unlock()
-			}
-		}(wi, queue)
+	<-merge.Done()
+	if failed.Load() {
+		return nil, ErrPoolClosed
 	}
-	wg.Wait()
-	return nil
+	return merge.Report(cfg.Policy, schedule), nil
 }
 
-// runSelfScheduling runs the dynamic baseline: a shared task channel that
-// idle workers pull from.
-func (m *Master) runSelfScheduling(rep *Report) error {
-	tasks := make(chan int)
-	go func() {
-		for i := range m.queries.Seqs {
-			tasks <- i
-		}
-		close(tasks)
-	}()
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	for _, w := range m.workers {
-		wg.Add(1)
-		go func(w Worker) {
-			defer wg.Done()
-			for qi := range tasks {
-				res := w.Run(qi, &m.queries.Seqs[qi], m.db)
-				mu.Lock()
-				rep.Results[qi] = res
-				rep.WorkerBusy[w.Name()] += res.Elapsed
-				rep.WorkerTasks[w.Name()]++
-				mu.Unlock()
-			}
-		}(w)
+// identity returns [0, 1, ..., n-1].
+func identity(n int) []int {
+	ix := make([]int, n)
+	for i := range ix {
+		ix[i] = i
 	}
-	wg.Wait()
-	return nil
+	return ix
 }
 
 // TopHits converts raw scores into the capped, sorted hit list.

@@ -1,0 +1,98 @@
+package master
+
+import (
+	"sync"
+	"time"
+
+	"swdual/internal/sched"
+)
+
+// Result merge: the third of the master's three roles. A Merger gathers
+// worker results for one request (one query set), keeps per-worker
+// accounting, and finalizes the Report. It is safe for concurrent Add
+// calls from many workers.
+
+// Merger accumulates the results of one search request.
+type Merger struct {
+	mu      sync.Mutex
+	results []QueryResult
+	busy    map[string]time.Duration
+	tasks   map[string]int
+	pending int
+	done    chan struct{}
+	start   time.Time
+}
+
+// NewMerger prepares a merge over n expected query results. A merge over
+// zero results is complete immediately.
+func NewMerger(n int) *Merger {
+	g := &Merger{
+		results: make([]QueryResult, n),
+		busy:    map[string]time.Duration{},
+		tasks:   map[string]int{},
+		pending: n,
+		done:    make(chan struct{}),
+		start:   time.Now(),
+	}
+	if n == 0 {
+		close(g.done)
+	}
+	return g
+}
+
+// Add records one worker result. index is the query's position in the
+// request (not in any larger scheduling wave). Add closes the merge when
+// the last expected result arrives.
+func (g *Merger) Add(index int, res QueryResult) {
+	g.mu.Lock()
+	g.results[index] = res
+	g.busy[res.Worker] += res.Elapsed
+	g.tasks[res.Worker]++
+	g.pending--
+	last := g.pending == 0
+	g.mu.Unlock()
+	if last {
+		close(g.done)
+	}
+}
+
+// Skip marks one expected result as abandoned (e.g. the request's context
+// was canceled before the task ran), so the merge can still complete.
+func (g *Merger) Skip(index int) {
+	g.mu.Lock()
+	g.pending--
+	last := g.pending == 0
+	g.mu.Unlock()
+	if last {
+		close(g.done)
+	}
+}
+
+// Done is closed once every expected result was added or skipped.
+func (g *Merger) Done() <-chan struct{} { return g.done }
+
+// Report finalizes the merged report. Call only after Done is closed (or
+// when abandoning the request early; partial results are kept).
+func (g *Merger) Report(policy Policy, s *sched.Schedule) *Report {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rep := &Report{
+		Policy:      policy,
+		Results:     g.results,
+		Wall:        time.Since(g.start),
+		WorkerBusy:  g.busy,
+		WorkerTasks: g.tasks,
+		Schedule:    s,
+	}
+	for i := range rep.Results {
+		rep.Cells += rep.Results[i].Cells
+	}
+	if sec := rep.Wall.Seconds(); sec > 0 {
+		rep.GCUPS = float64(rep.Cells) / sec / 1e9
+	}
+	if s != nil {
+		rep.SimMakespan = s.Makespan
+		rep.IdleFraction = s.IdleFraction()
+	}
+	return rep
+}

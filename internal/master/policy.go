@@ -1,0 +1,125 @@
+package master
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"swdual/internal/sched"
+)
+
+// Scheduling policy: the second of the master's three roles. A policy
+// turns a scheduling instance into per-worker task queues; the paper's
+// dual-approximation scheduler is the default.
+
+// Policy selects how the master allocates tasks to workers.
+type Policy int
+
+// Allocation policies.
+const (
+	// PolicyDualApprox is the paper's one-round dual-approximation
+	// allocation (§III).
+	PolicyDualApprox Policy = iota
+	// PolicyDualApproxDP is the 3/2 dynamic-programming refinement.
+	PolicyDualApproxDP
+	// PolicySelfScheduling is the related-work baseline [10]: idle
+	// workers pull the next task.
+	PolicySelfScheduling
+	// PolicyRoundRobin deals tasks over workers in turn ([11]'s
+	// equal-power assumption).
+	PolicyRoundRobin
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyDualApprox:
+		return "dual-approx"
+	case PolicyDualApproxDP:
+		return "dual-approx-dp"
+	case PolicySelfScheduling:
+		return "self-scheduling"
+	case PolicyRoundRobin:
+		return "round-robin"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy resolves a policy name as accepted on the public API and
+// the command line.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "", "dual-approx":
+		return PolicyDualApprox, nil
+	case "dual-approx-dp":
+		return PolicyDualApproxDP, nil
+	case "self-scheduling":
+		return PolicySelfScheduling, nil
+	case "round-robin":
+		return PolicyRoundRobin, nil
+	}
+	return 0, fmt.Errorf("master: unknown policy %q", name)
+}
+
+// ErrDynamicPolicy is returned by Assign for policies that allocate at
+// run time (self-scheduling) instead of producing static queues.
+var ErrDynamicPolicy = errors.New("master: policy allocates dynamically")
+
+// Assign runs a static policy over the instance and maps the resulting
+// placements onto the given workers: queues[w] lists the task indices of
+// worker w in schedule start order. The schedule is non-nil for the
+// dual-approximation policies. Self-scheduling returns ErrDynamicPolicy:
+// its allocation happens while workers run.
+func Assign(policy Policy, in *sched.Instance, workers []Worker) (queues [][]int, s *sched.Schedule, err error) {
+	queues = make([][]int, len(workers))
+	switch policy {
+	case PolicyRoundRobin:
+		for i := range in.Tasks {
+			w := i % len(workers)
+			queues[w] = append(queues[w], i)
+		}
+		return queues, nil, nil
+	case PolicyDualApprox, PolicyDualApproxDP:
+		if policy == PolicyDualApproxDP {
+			s, err = sched.DualApproxDP(in)
+		} else {
+			s, err = sched.DualApprox(in)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		// Map (kind, pe) pairs onto concrete workers.
+		cpuIdx, gpuIdx := []int{}, []int{}
+		for wi, w := range workers {
+			if w.Kind() == sched.CPU {
+				cpuIdx = append(cpuIdx, wi)
+			} else {
+				gpuIdx = append(gpuIdx, wi)
+			}
+		}
+		type job struct {
+			task  int
+			start float64
+		}
+		perPE := map[int][]job{}
+		for _, pl := range s.Placements {
+			var wi int
+			if pl.Kind == sched.CPU {
+				wi = cpuIdx[pl.PE]
+			} else {
+				wi = gpuIdx[pl.PE]
+			}
+			perPE[wi] = append(perPE[wi], job{task: pl.Task, start: pl.Start})
+		}
+		for wi, jobs := range perPE {
+			sort.Slice(jobs, func(a, b int) bool { return jobs[a].start < jobs[b].start })
+			for _, j := range jobs {
+				queues[wi] = append(queues[wi], j.task)
+			}
+		}
+		return queues, s, nil
+	case PolicySelfScheduling:
+		return nil, nil, ErrDynamicPolicy
+	}
+	return nil, nil, fmt.Errorf("master: unknown policy %v", policy)
+}

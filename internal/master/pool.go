@@ -1,0 +1,143 @@
+package master
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"swdual/internal/seq"
+)
+
+// Pool is a long-lived set of worker goroutines, one per registered
+// Worker, each owning its engine exclusively. Tasks are handed to a
+// specific worker (static policies) or to a shared queue any idle worker
+// pulls from (self-scheduling). A Pool outlives individual requests: the
+// engine layer keeps one Pool per loaded database and routes many
+// concurrent searches through it.
+//
+// All task channels are unbuffered: a Submit either hands the task to a
+// live worker goroutine (which always calls Done) or fails with
+// ErrPoolClosed — so no task can be accepted and then dropped, and Close
+// cannot leak goroutines or strand callers.
+type Pool struct {
+	workers []Worker
+	own     []chan PoolTask
+	shared  chan PoolTask
+	quit    chan struct{}
+	sem     chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// PoolTask is one unit of work routed through a Pool.
+type PoolTask struct {
+	// QueryIndex is echoed into the result and passed back to Done; it is
+	// the caller's index (e.g. position within a request).
+	QueryIndex int
+	Query      *seq.Sequence
+	DB         *seq.Set
+	// Canceled, if non-nil, is consulted right before compute; a true
+	// return skips the alignment and reports ran=false.
+	Canceled func() bool
+	// Done receives the result. ran is false when the task was skipped by
+	// Canceled. Done is called exactly once for every accepted task.
+	Done func(res QueryResult, ran bool)
+}
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("master: pool is closed")
+
+// PoolConfig tunes a Pool.
+type PoolConfig struct {
+	// Parallelism bounds concurrently computing workers (default: no
+	// bound beyond the worker count).
+	Parallelism int
+}
+
+// NewPool starts one goroutine per worker.
+func NewPool(workers []Worker, cfg PoolConfig) (*Pool, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("master: pool needs at least one worker")
+	}
+	p := &Pool{
+		workers: workers,
+		own:     make([]chan PoolTask, len(workers)),
+		shared:  make(chan PoolTask),
+		quit:    make(chan struct{}),
+	}
+	if cfg.Parallelism > 0 {
+		p.sem = make(chan struct{}, cfg.Parallelism)
+	}
+	for i := range workers {
+		p.own[i] = make(chan PoolTask)
+		p.wg.Add(1)
+		go p.serve(workers[i], p.own[i])
+	}
+	return p, nil
+}
+
+// Workers returns the registered workers (read-only).
+func (p *Pool) Workers() []Worker { return p.workers }
+
+// Size returns the number of worker goroutines.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Rates summarizes the pool the way the scheduling policies see it.
+func (p *Pool) Rates() PoolRates { return RatesOf(p.workers) }
+
+func (p *Pool) serve(w Worker, own chan PoolTask) {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case t := <-own:
+			p.run(w, t)
+		case t := <-p.shared:
+			p.run(w, t)
+		}
+	}
+}
+
+func (p *Pool) run(w Worker, t PoolTask) {
+	if t.Canceled != nil && t.Canceled() {
+		t.Done(QueryResult{QueryIndex: t.QueryIndex, Worker: w.Name(), WorkerKind: w.Kind()}, false)
+		return
+	}
+	if p.sem != nil {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+	}
+	t.Done(w.Run(t.QueryIndex, t.Query, t.DB), true)
+}
+
+// Submit hands a task to worker wi, blocking until the worker accepts it.
+// Tasks submitted to one worker run in submission order.
+func (p *Pool) Submit(wi int, t PoolTask) error {
+	select {
+	case p.own[wi] <- t:
+		return nil
+	case <-p.quit:
+		return ErrPoolClosed
+	}
+}
+
+// SubmitShared offers a task to whichever worker goes idle first — the
+// self-scheduling baseline's dynamic allocation.
+func (p *Pool) SubmitShared(t PoolTask) error {
+	select {
+	case p.shared <- t:
+		return nil
+	case <-p.quit:
+		return ErrPoolClosed
+	}
+}
+
+// Close shuts the pool down and waits for every worker goroutine to
+// exit. It is idempotent and safe to call concurrently; tasks accepted
+// before Close still run to completion and report through Done.
+func (p *Pool) Close() error {
+	p.once.Do(func() { close(p.quit) })
+	p.wg.Wait()
+	return nil
+}

@@ -1,0 +1,180 @@
+package master
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/sw"
+	"swdual/internal/synth"
+)
+
+func testPool(t *testing.T, cpus, gpus int) *Pool {
+	t.Helper()
+	p, err := NewPool(BuildWorkers(sw.DefaultParams(), cpus, gpus, 5), PoolConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := testPool(t, 2, 1)
+	var wg sync.WaitGroup
+	// Concurrent closes from several goroutines must all return cleanly.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatalf("close after close: %v", err)
+	}
+}
+
+func TestPoolCloseDoesNotLeakGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		p := testPool(t, 2, 2)
+		p.Close()
+	}
+	// Give exited goroutines a moment to be reaped.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestPoolSubmitAfterCloseFails(t *testing.T) {
+	p := testPool(t, 1, 0)
+	p.Close()
+	err := p.Submit(0, PoolTask{Done: func(QueryResult, bool) { t.Error("done called") }})
+	if err != ErrPoolClosed {
+		t.Fatalf("submit after close: %v", err)
+	}
+	if err := p.SubmitShared(PoolTask{Done: func(QueryResult, bool) { t.Error("done called") }}); err != ErrPoolClosed {
+		t.Fatalf("shared submit after close: %v", err)
+	}
+}
+
+func TestPoolAcceptedTasksCompleteDespiteClose(t *testing.T) {
+	p := testPool(t, 1, 0)
+	db := synth.RandomSet(alphabet.Protein, 10, 10, 50, 41)
+	done := make(chan QueryResult, 1)
+	err := p.Submit(0, PoolTask{
+		QueryIndex: 0,
+		Query:      &db.Seqs[0],
+		DB:         db,
+		Done:       func(res QueryResult, ran bool) { done <- res },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close() // must wait for the accepted task, not drop it
+	select {
+	case res := <-done:
+		if len(res.Hits) == 0 {
+			t.Fatal("accepted task produced no hits")
+		}
+	default:
+		t.Fatal("accepted task was dropped by Close")
+	}
+}
+
+func TestPoolCanceledTaskSkipsCompute(t *testing.T) {
+	p := testPool(t, 1, 0)
+	defer p.Close()
+	db := synth.RandomSet(alphabet.Protein, 10, 10, 50, 42)
+	done := make(chan bool, 1)
+	err := p.Submit(0, PoolTask{
+		QueryIndex: 0,
+		Query:      &db.Seqs[0],
+		DB:         db,
+		Canceled:   func() bool { return true },
+		Done:       func(res QueryResult, ran bool) { done <- ran },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran := <-done; ran {
+		t.Fatal("canceled task still computed")
+	}
+}
+
+// TestRunOnReusesPoolAcrossRequests drives two sequential and several
+// concurrent requests through one pool — the persistence contract the
+// engine layer builds on.
+func TestRunOnReusesPoolAcrossRequests(t *testing.T) {
+	p := testPool(t, 2, 2)
+	defer p.Close()
+	db := synth.RandomSet(alphabet.Protein, 50, 10, 150, 43)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			queries := synth.RandomSet(alphabet.Protein, 4, 20, 100, int64(300+i))
+			rep, err := RunOn(p, db, queries, Config{TopK: 5})
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			if len(rep.Results) != queries.Len() {
+				t.Errorf("request %d: %d results", i, len(rep.Results))
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestRunOnSelfSchedulingOnPool exercises the shared-queue path.
+func TestRunOnSelfSchedulingOnPool(t *testing.T) {
+	p := testPool(t, 1, 1)
+	defer p.Close()
+	db := synth.RandomSet(alphabet.Protein, 30, 10, 100, 44)
+	queries := synth.RandomSet(alphabet.Protein, 6, 20, 80, 45)
+	rep, err := RunOn(p, db, queries, Config{Policy: PolicySelfScheduling, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range rep.WorkerTasks {
+		total += n
+	}
+	if total != queries.Len() {
+		t.Fatalf("self-scheduling ran %d tasks for %d queries", total, queries.Len())
+	}
+}
+
+// TestRunOnClosedPoolFails must not hang: feeders skip their queues and
+// the request reports ErrPoolClosed.
+func TestRunOnClosedPoolFails(t *testing.T) {
+	p := testPool(t, 1, 1)
+	p.Close()
+	db := synth.RandomSet(alphabet.Protein, 10, 10, 50, 46)
+	queries := synth.RandomSet(alphabet.Protein, 3, 20, 60, 47)
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunOn(p, db, queries, Config{TopK: 5})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != ErrPoolClosed {
+			t.Fatalf("run on closed pool: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunOn hung on closed pool")
+	}
+}

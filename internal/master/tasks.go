@@ -1,0 +1,74 @@
+package master
+
+import (
+	"swdual/internal/sched"
+	"swdual/internal/seq"
+)
+
+// Task generation: the first of the master's three roles (§IV, Figure 6).
+// One search task is generated per query sequence; its processing-time
+// estimates come from the database volume and the worker-advertised rates.
+
+// PoolRates summarizes the registered workers the way the scheduling
+// policies see them: pool sizes and mean advertised throughput per pool.
+type PoolRates struct {
+	CPUs, GPUs       int
+	CPURate, GPURate float64 // mean GCUPS per worker of the pool
+}
+
+// RatesOf gathers pool sizes and mean rates from registered workers.
+func RatesOf(workers []Worker) PoolRates {
+	var r PoolRates
+	for _, w := range workers {
+		if w.Kind() == sched.CPU {
+			r.CPURate += w.RateGCUPS()
+			r.CPUs++
+		} else {
+			r.GPURate += w.RateGCUPS()
+			r.GPUs++
+		}
+	}
+	if r.CPUs > 0 {
+		r.CPURate /= float64(r.CPUs)
+	}
+	if r.GPUs > 0 {
+		r.GPURate /= float64(r.GPUs)
+	}
+	return r
+}
+
+// BuildInstance generates the scheduling instance for comparing queries
+// against a database of dbResidues total residues: one task per query,
+// with CPU/GPU time estimates cells/rate (the paper's p_j and
+// overlined p_j). queryLens and queryIDs must have equal length; a nil
+// queryIDs leaves labels empty.
+func BuildInstance(dbResidues int64, queryLens []int, queryIDs []string, rates PoolRates) *sched.Instance {
+	in := &sched.Instance{CPUs: rates.CPUs, GPUs: rates.GPUs}
+	for i, qlen := range queryLens {
+		cells := float64(qlen) * float64(dbResidues)
+		t := sched.Task{ID: i}
+		if queryIDs != nil {
+			t.Label = queryIDs[i]
+		}
+		if rates.CPUs > 0 {
+			t.CPUTime = cells / (rates.CPURate * 1e9)
+		}
+		if rates.GPUs > 0 {
+			t.GPUTime = cells / (rates.GPURate * 1e9)
+		}
+		in.Tasks = append(in.Tasks, t)
+	}
+	return in
+}
+
+// InstanceFor generates the scheduling instance of a whole query set, the
+// per-process path used by Master and the cluster runtime.
+func InstanceFor(db, queries *seq.Set, workers []Worker) *sched.Instance {
+	lens := make([]int, queries.Len())
+	ids := make([]string, queries.Len())
+	for i := range queries.Seqs {
+		lens[i] = queries.Seqs[i].Len()
+		ids[i] = queries.Seqs[i].ID
+	}
+	return BuildInstance(db.TotalResidues(), lens, ids, RatesOf(workers))
+}

@@ -1,0 +1,30 @@
+package master
+
+import (
+	"fmt"
+
+	"swdual/internal/cudasw"
+	"swdual/internal/gpusim"
+	"swdual/internal/platform"
+	"swdual/internal/sched"
+	"swdual/internal/sw"
+	"swdual/internal/swvector"
+)
+
+// BuildWorkers assembles the standard hybrid worker set: CPU workers run
+// the SWIPE-style inter-sequence engine, GPU workers run the CUDASW++-
+// style engine each on its own simulated Tesla C2050. Advertised rates
+// come from the paper calibration (Table II).
+func BuildWorkers(params sw.Params, cpus, gpus, topK int) []Worker {
+	cal := platform.PaperCalibration()
+	var ws []Worker
+	for i := 0; i < gpus; i++ {
+		eng := cudasw.New(gpusim.New(gpusim.TeslaC2050()), params)
+		ws = append(ws, NewGPUWorker(fmt.Sprintf("gpu-%d", i), eng, 24.8, topK))
+	}
+	for i := 0; i < cpus; i++ {
+		ws = append(ws, NewEngineWorker(fmt.Sprintf("cpu-%d", i), sched.CPU,
+			swvector.NewInterSeq(params), cal.CPUWorkerGCUPS, topK))
+	}
+	return ws
+}

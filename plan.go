@@ -9,6 +9,7 @@ import (
 	"swdual/internal/master"
 	"swdual/internal/platform"
 	"swdual/internal/sched"
+	"swdual/internal/seq"
 	"swdual/internal/synth"
 )
 
@@ -39,23 +40,26 @@ type SchedulePlan struct {
 // Plan runs only the scheduler over the calibrated platform model: it
 // answers "how would this search be split and how long would it take on
 // the paper's hardware" without computing alignments. Queries may be a
-// generated set or any loaded database.
+// generated set or any loaded database. A Searcher's Plan method does
+// the same over its prepared database statistics.
 func Plan(db, queries *Database, opt Options) (*SchedulePlan, error) {
+	if db == nil || queries == nil {
+		return nil, errNilSets
+	}
 	cpus, gpus := opt.workers()
+	return planModel(setLengths(db.set), queryLengths(queries), cpus, gpus, opt.Policy)
+}
+
+// planModel is the shared scheduling-only path behind Plan and
+// Searcher.Plan: model the database on the calibrated platform, run the
+// selected dual-approximation variant, and render the plan.
+func planModel(dbLengths, queryLens []int, cpus, gpus int, policy string) (*SchedulePlan, error) {
 	p := platform.New(cpus, gpus)
-	lengths := make([]int, db.Len())
-	for i := range lengths {
-		lengths[i] = db.set.Seqs[i].Len()
-	}
-	model := p.ModelDB("db", lengths)
-	queryLens := make([]int, queries.Len())
-	for i := range queryLens {
-		queryLens[i] = queries.set.Seqs[i].Len()
-	}
+	model := p.ModelDB("db", dbLengths)
 	in := p.Instance(model, queryLens)
 	var s *sched.Schedule
 	var err error
-	if opt.Policy == "dual-approx-dp" {
+	if policy == "dual-approx-dp" {
 		s, err = sched.DualApproxDP(in)
 	} else {
 		s, err = sched.DualApprox(in)
@@ -83,6 +87,18 @@ func Plan(db, queries *Database, opt Options) (*SchedulePlan, error) {
 	}
 	return plan, nil
 }
+
+// setLengths lists the sequence lengths of a set.
+func setLengths(set *seq.Set) []int {
+	lengths := make([]int, set.Len())
+	for i := range lengths {
+		lengths[i] = set.Seqs[i].Len()
+	}
+	return lengths
+}
+
+// queryLengths lists the sequence lengths of a query database.
+func queryLengths(queries *Database) []int { return setLengths(queries.set) }
 
 // PaperPlatformPlan plans one of the paper's experiments directly from a
 // database preset name and query-set kind at full paper scale.
@@ -145,9 +161,9 @@ func ConnectWorker(conn net.Conn, db *Database, kind, name string, opt Options) 
 	var w master.Worker
 	switch kind {
 	case "cpu":
-		w = bench.BuildWorkers(params, 1, 0, opt.TopK)[0]
+		w = master.BuildWorkers(params, 1, 0, opt.TopK)[0]
 	case "gpu":
-		w = bench.BuildWorkers(params, 0, 1, opt.TopK)[0]
+		w = master.BuildWorkers(params, 0, 1, opt.TopK)[0]
 	default:
 		return fmt.Errorf("swdual: unknown worker kind %q", kind)
 	}

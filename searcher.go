@@ -1,0 +1,150 @@
+package swdual
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"swdual/internal/engine"
+)
+
+// Searcher is a persistent search service over one database: it loads
+// the database once (sequences, residue encoding, score profiles, length
+// statistics), keeps a long-lived pool of CPU and GPU workers, and
+// serves any number of concurrent Search calls. Concurrent requests are
+// coalesced into shared dual-approximation scheduling waves, so the
+// cost of preparation and scheduling is amortized across callers — the
+// paper's long-lived master (§IV) as a service.
+//
+// A Searcher must be Closed to release its workers. For a single search
+// the package-level Search remains the simplest entry point; it is now
+// a thin wrapper over a temporary Searcher.
+type Searcher struct {
+	inner *engine.Searcher
+	db    *Database
+	opt   Options
+}
+
+// SearchOptions tunes one Searcher.Search call.
+type SearchOptions struct {
+	// TopK bounds reported hits per query; 0 uses the Searcher's TopK
+	// from Options. Values above the Searcher's TopK are capped.
+	TopK int
+}
+
+// SearcherStats reports what a Searcher has amortized and served.
+type SearcherStats = engine.Stats
+
+// NewSearcher prepares db once and starts the persistent worker pool
+// described by opt (CPUs, GPUs, Matrix, gap penalties, Policy, TopK).
+func NewSearcher(db *Database, opt Options) (*Searcher, error) {
+	return newSearcher(db, opt, 0) // 0 = engine default batch window
+}
+
+func newSearcher(db *Database, opt Options, batchWindow int) (*Searcher, error) {
+	if db == nil {
+		return nil, errNilSets
+	}
+	params, err := opt.params()
+	if err != nil {
+		return nil, err
+	}
+	policy, err := opt.policy()
+	if err != nil {
+		return nil, err
+	}
+	cpus, gpus := opt.workers()
+	cfg := engine.Config{
+		Params: params,
+		CPUs:   cpus,
+		GPUs:   gpus,
+		TopK:   opt.TopK,
+		Policy: policy,
+	}
+	if batchWindow < 0 {
+		cfg.BatchWindow = -1 // one-shot runs have no co-callers to wait for
+	}
+	inner, err := engine.New(db.set, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Searcher{inner: inner, db: db, opt: opt}, nil
+}
+
+// Search compares every query against the database and returns merged,
+// score-sorted hits per query. It is safe to call from any number of
+// goroutines; results are identical to one-shot Search calls with the
+// Searcher's Options. Search honors ctx cancellation.
+func (s *Searcher) Search(ctx context.Context, queries *Database, opts SearchOptions) (*Report, error) {
+	if queries == nil {
+		return nil, errNilSets
+	}
+	return s.inner.Search(ctx, queries.set, engine.SearchOptions{TopK: opts.TopK})
+}
+
+// Plan runs only the scheduler for the given queries on the calibrated
+// paper-scale platform model, reusing the Searcher's prepared database
+// statistics.
+func (s *Searcher) Plan(queries *Database) (*SchedulePlan, error) {
+	if queries == nil {
+		return nil, errNilSets
+	}
+	cpus, gpus := s.opt.workers()
+	return planModel(s.inner.DBLengths(), queryLengths(queries), cpus, gpus, s.opt.Policy)
+}
+
+// Serve exposes the Searcher over the wire protocol until the listener
+// closes: each client connection streams queries and receives one result
+// per query. Concurrent clients share scheduling waves.
+func (s *Searcher) Serve(l net.Listener) error {
+	return engine.Serve(l, s.inner)
+}
+
+// Stats reports the Searcher's cumulative counters (preparation passes,
+// workers started, searches, waves).
+func (s *Searcher) Stats() SearcherStats { return s.inner.Stats() }
+
+// Database returns the loaded database.
+func (s *Searcher) Database() *Database { return s.db }
+
+// Checksum fingerprints the loaded database; serve-mode clients can pass
+// it to verify both ends hold the same sequences.
+func (s *Searcher) Checksum() uint32 { return s.inner.Checksum() }
+
+// Close stops the dispatcher and worker pool. It is idempotent; Search
+// calls after Close fail.
+func (s *Searcher) Close() error { return s.inner.Close() }
+
+// QueryServer runs one search request against a serve-mode Searcher
+// listening at addr and returns its merged results. A non-zero checksum
+// makes the server refuse the request unless its database matches.
+func QueryServer(addr string, queries *Database, checksum uint32) (*Report, error) {
+	if queries == nil {
+		return nil, errNilSets
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer nc.Close()
+	results, err := engine.Query(nc, queries.set, checksum)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Results: make([]QueryResult, len(results))}
+	for qi, res := range results {
+		qr := QueryResult{
+			QueryIndex: qi,
+			QueryID:    queries.set.Seqs[qi].ID,
+			Elapsed:    time.Duration(res.ElapsedNS),
+			SimSeconds: res.SimSeconds,
+			Cells:      int64(res.Cells),
+		}
+		for _, h := range res.Hits {
+			qr.Hits = append(qr.Hits, Hit{SeqIndex: int(h.SeqIndex), SeqID: h.SeqID, Score: int(h.Score)})
+		}
+		rep.Results[qi] = qr
+		rep.Cells += qr.Cells
+	}
+	return rep, nil
+}

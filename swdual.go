@@ -21,12 +21,12 @@
 package swdual
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
 
 	"swdual/internal/alphabet"
-	"swdual/internal/bench"
 	"swdual/internal/fasta"
 	"swdual/internal/master"
 	"swdual/internal/scoring"
@@ -79,17 +79,11 @@ func (o Options) params() (sw.Params, error) {
 }
 
 func (o Options) policy() (master.Policy, error) {
-	switch o.Policy {
-	case "", "dual-approx":
-		return master.PolicyDualApprox, nil
-	case "dual-approx-dp":
-		return master.PolicyDualApproxDP, nil
-	case "self-scheduling":
-		return master.PolicySelfScheduling, nil
-	case "round-robin":
-		return master.PolicyRoundRobin, nil
+	p, err := master.ParsePolicy(o.Policy)
+	if err != nil {
+		return 0, fmt.Errorf("swdual: unknown policy %q", o.Policy)
 	}
-	return 0, fmt.Errorf("swdual: unknown policy %q", o.Policy)
+	return p, nil
 }
 
 func (o Options) workers() (cpus, gpus int) {
@@ -212,27 +206,24 @@ type QueryResult = master.QueryResult
 // Report is the outcome of a search run.
 type Report = master.Report
 
+// errNilSets is the shared complaint for nil database/query arguments.
+var errNilSets = fmt.Errorf("swdual: nil database or query set")
+
 // Search compares every query against the database on an in-process
-// hybrid platform and returns merged, score-sorted hits per query.
+// hybrid platform and returns merged, score-sorted hits per query. It is
+// a thin wrapper that runs one request through a temporary Searcher;
+// callers with more than one search should keep a Searcher and let it
+// amortize database preparation and the worker pool across requests.
 func Search(db, queries *Database, opt Options) (*Report, error) {
 	if db == nil || queries == nil {
-		return nil, fmt.Errorf("swdual: nil database or query set")
+		return nil, errNilSets
 	}
-	params, err := opt.params()
+	s, err := newSearcher(db, opt, -1) // no batch window: nobody to wait for
 	if err != nil {
 		return nil, err
 	}
-	policy, err := opt.policy()
-	if err != nil {
-		return nil, err
-	}
-	cpus, gpus := opt.workers()
-	workers := bench.BuildWorkers(params, cpus, gpus, opt.TopK)
-	m, err := master.New(db.set, queries.set, workers, master.Config{Policy: policy, TopK: opt.TopK})
-	if err != nil {
-		return nil, err
-	}
-	return m.Run()
+	defer s.Close()
+	return s.Search(context.Background(), queries, SearchOptions{})
 }
 
 // Alignment is a full pairwise local alignment with traceback.

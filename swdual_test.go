@@ -1,6 +1,7 @@
 package swdual_test
 
 import (
+	"context"
 	"net"
 	"path/filepath"
 	"sync"
@@ -179,6 +180,146 @@ func TestClusterEndToEnd(t *testing.T) {
 				t.Fatalf("query %d hit %d mismatch", qi, i)
 			}
 		}
+	}
+}
+
+// TestConcurrentSearcherMatchesSerialOneShot is the acceptance check of
+// the persistent engine: 8 concurrent Search calls on one Searcher must
+// return hits identical to 8 serial one-shot swdual.Search calls.
+func TestConcurrentSearcherMatchesSerialOneShot(t *testing.T) {
+	db, err := swdual.GenerateDatabase("UniProt", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := swdual.Options{CPUs: 2, GPUs: 2, TopK: 5}
+	const callers = 8
+	querySets := make([]*swdual.Database, callers)
+	serial := make([]*swdual.Report, callers)
+	for i := range querySets {
+		querySets[i], err = swdual.GenerateQueries("standard", 300+10*i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i], err = swdual.Search(db, querySets[i], opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := swdual.NewSearcher(db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	concurrent := make([]*swdual.Report, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			concurrent[i], errs[i] = s.Search(context.Background(), querySets[i], swdual.SearchOptions{})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if len(concurrent[i].Results) != len(serial[i].Results) {
+			t.Fatalf("caller %d: %d results vs %d", i, len(concurrent[i].Results), len(serial[i].Results))
+		}
+		for qi := range concurrent[i].Results {
+			got, want := concurrent[i].Results[qi].Hits, serial[i].Results[qi].Hits
+			if len(got) != len(want) {
+				t.Fatalf("caller %d query %d: %d hits vs %d", i, qi, len(got), len(want))
+			}
+			for hi := range got {
+				if got[hi] != want[hi] {
+					t.Fatalf("caller %d query %d hit %d: %+v vs %+v", i, qi, hi, got[hi], want[hi])
+				}
+			}
+		}
+	}
+}
+
+// TestSearcherSkipsRePreparation demonstrates the amortization contract:
+// a second Search on the same Searcher reuses the prepared database and
+// the running workers instead of rebuilding them.
+func TestSearcherSkipsRePreparation(t *testing.T) {
+	db, err := swdual.GenerateDatabase("RefSeq Mouse Proteins", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := swdual.GenerateQueries("standard", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := swdual.NewSearcher(db, swdual.Options{CPUs: 1, GPUs: 1, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Search(context.Background(), queries, swdual.SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Search(context.Background(), queries, swdual.SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Prepared != 1 {
+		t.Fatalf("database prepared %d times across two searches, want 1", st.Prepared)
+	}
+	if st.WorkersStarted != 2 {
+		t.Fatalf("workers started %d times, want 2 (1 CPU + 1 GPU, never rebuilt)", st.WorkersStarted)
+	}
+	if st.Searches != 2 {
+		t.Fatalf("searches %d, want 2", st.Searches)
+	}
+}
+
+// TestSearcherServe drives the serve mode end to end over the public API.
+func TestSearcherServe(t *testing.T) {
+	db, err := swdual.GenerateDatabase("Ensembl Dog Proteins", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := swdual.GenerateQueries("standard", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := swdual.NewSearcher(db, swdual.Options{CPUs: 1, GPUs: 1, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	remote, err := swdual.QueryServer(l.Addr().String(), queries, s.Checksum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := s.Search(context.Background(), queries, swdual.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range remote.Results {
+		got, want := remote.Results[qi].Hits, local.Results[qi].Hits
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d hits vs %d", qi, len(got), len(want))
+		}
+		for hi := range got {
+			if got[hi].SeqIndex != want[hi].SeqIndex || got[hi].Score != want[hi].Score {
+				t.Fatalf("query %d hit %d mismatch", qi, hi)
+			}
+		}
+	}
+	l.Close()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
 	}
 }
 
