@@ -8,6 +8,7 @@
 //	swdual -db db.swdb -query q.fasta -policy self-scheduling -topk 5
 //	swdual -db db.fasta -query q.fasta -plan        # schedule only
 //	swdual -db db.fasta -serve :4015                # persistent engine
+//	swdual -db db.fasta -serve :4015 -shards 4      # sharded scatter/gather
 //	swdual -remote host:4015 -query q.fasta         # query a served engine
 //
 // Serve mode loads the database once, keeps the worker pool alive, and
@@ -43,17 +44,21 @@ func main() {
 		evalues  = flag.Bool("evalue", false, "report bit scores and E-values next to each hit")
 		serve    = flag.String("serve", "", "serve the database persistently on this address instead of searching")
 		remote   = flag.String("remote", "", "send the queries to a serve-mode engine at this address")
+		shards   = flag.Int("shards", 1, "split the database into this many shards, each with its own worker pool")
+		split    = flag.String("shard-split", "contiguous", "shard boundary strategy: contiguous | balanced")
 	)
 	flag.Parse()
 
 	opt := swdual.Options{
-		Matrix:    *matrix,
-		GapStart:  *gapS,
-		GapExtend: *gapE,
-		CPUs:      *cpus,
-		GPUs:      *gpus,
-		TopK:      *topk,
-		Policy:    *policy,
+		Matrix:     *matrix,
+		GapStart:   *gapS,
+		GapExtend:  *gapE,
+		CPUs:       *cpus,
+		GPUs:       *gpus,
+		TopK:       *topk,
+		Policy:     *policy,
+		Shards:     *shards,
+		ShardSplit: *split,
 	}
 
 	if *remote != "" {
@@ -94,8 +99,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("serving %d sequences (%d residues, checksum %08x) on %s with %d CPU + %d GPU workers",
-			db.Len(), db.TotalResidues(), s.Checksum(), l.Addr(), *cpus, *gpus)
+		log.Printf("serving %d sequences (%d residues, checksum %08x) on %s with %d CPU + %d GPU workers per shard across %d shard(s)",
+			db.Len(), db.TotalResidues(), s.Checksum(), l.Addr(), *cpus, *gpus, s.Shards())
 		if err := s.Serve(l); err != nil {
 			log.Fatal(err)
 		}

@@ -31,6 +31,10 @@ import (
 	"swdual/internal/sw"
 )
 
+// DefaultTopK is the hits-per-query cap a zero Config.TopK selects; the
+// sharding facade caps its gather with the same value.
+const DefaultTopK = 10
+
 // Config tunes a Searcher. The zero value works: 1 CPU + 1 GPU worker,
 // BLOSUM62 defaults from sw.DefaultParams, dual-approximation policy.
 type Config struct {
@@ -67,7 +71,7 @@ func (c *Config) defaults() {
 		c.CPUs, c.GPUs = 1, 1
 	}
 	if c.TopK <= 0 {
-		c.TopK = 10
+		c.TopK = DefaultTopK
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)

@@ -30,11 +30,20 @@ import (
 // server database's alphabet. Concurrent connections are coalesced into
 // shared scheduling waves by the Searcher's dispatcher.
 
+// Backend is the search service Serve exposes: the in-process Searcher
+// or any equivalent — e.g. a sharded scatter/gather facade whose merged
+// results are byte-identical to one Searcher over the whole database.
+type Backend interface {
+	Search(ctx context.Context, queries *seq.Set, opts SearchOptions) (*master.Report, error)
+	DB() *seq.Set
+	Checksum() uint32
+}
+
 // Serve accepts connections on l and answers each over the wire
 // protocol until the listener is closed (use l.Close to stop). Each
-// connection's queries become one Searcher.Search call, so concurrent
-// clients batch into waves. Serve returns nil when l closes.
-func Serve(l net.Listener, s *Searcher) error {
+// connection's queries become one Search call on the backend, so
+// concurrent clients batch into waves. Serve returns nil when l closes.
+func Serve(l net.Listener, s Backend) error {
 	for {
 		nc, err := l.Accept()
 		if err != nil {
@@ -52,7 +61,7 @@ func Serve(l net.Listener, s *Searcher) error {
 
 // serveConn answers one client. Protocol errors end the connection; the
 // client sees the ErrorMsg or the closed stream.
-func serveConn(c *wire.Conn, s *Searcher) {
+func serveConn(c *wire.Conn, s Backend) {
 	fail := func(err error) { c.Send(&wire.ErrorMsg{Text: err.Error()}) }
 	msg, err := c.Recv()
 	if err != nil {

@@ -196,12 +196,7 @@ func TopHits(db *seq.Set, scores []int, k int) []Hit {
 	for i, s := range scores {
 		hits = append(hits, Hit{SeqIndex: i, SeqID: db.Seqs[i].ID, Score: s})
 	}
-	sort.SliceStable(hits, func(a, b int) bool {
-		if hits[a].Score != hits[b].Score {
-			return hits[a].Score > hits[b].Score
-		}
-		return hits[a].SeqIndex < hits[b].SeqIndex
-	})
+	sort.SliceStable(hits, func(a, b int) bool { return HitBefore(hits[a], hits[b]) })
 	if len(hits) > k {
 		hits = hits[:k]
 	}

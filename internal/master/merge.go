@@ -12,6 +12,57 @@ import (
 // accounting, and finalizes the Report. It is safe for concurrent Add
 // calls from many workers.
 
+// HitBefore is the canonical hit order every merge in the module agrees
+// on: descending score, then ascending SeqIndex. TopHits sorts with it
+// and MergeTopK selects with it, which is what makes sharded results
+// byte-identical to unsharded ones.
+func HitBefore(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.SeqIndex < b.SeqIndex
+}
+
+// MergeTopK gathers per-shard hit lists into one global top-k list. Each
+// list must already be in HitBefore order over shard-local indices — the
+// order TopHits produces — and offsets[i] is added to list i's SeqIndex
+// values to lift them into the global index space (shards cover disjoint
+// contiguous ranges, so lifting preserves each list's order and global
+// indices never collide). The merge is a deterministic k-way selection:
+// ties in score break on the global index, exactly like an unsharded
+// TopHits pass over the whole database.
+func MergeTopK(lists [][]Hit, offsets []int, k int) []Hit {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total > k {
+		total = k
+	}
+	out := make([]Hit, 0, total)
+	cursors := make([]int, len(lists))
+	for len(out) < k {
+		best := -1
+		var bestHit Hit
+		for li, l := range lists {
+			if cursors[li] >= len(l) {
+				continue
+			}
+			h := l[cursors[li]]
+			h.SeqIndex += offsets[li]
+			if best < 0 || HitBefore(h, bestHit) {
+				best, bestHit = li, h
+			}
+		}
+		if best < 0 {
+			break
+		}
+		cursors[best]++
+		out = append(out, bestHit)
+	}
+	return out
+}
+
 // Merger accumulates the results of one search request.
 type Merger struct {
 	mu      sync.Mutex

@@ -1,0 +1,79 @@
+package master
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestMergeTopKMatchesGlobalSort: merging per-shard TopHits lists must
+// equal running TopHits over the concatenated global score list — the
+// property the sharded engine's byte-identical guarantee rests on.
+func TestMergeTopKMatchesGlobalSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 200; iter++ {
+		shards := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(8)
+		var lists [][]Hit
+		var offsets []int
+		var global []Hit
+		at := 0
+		for s := 0; s < shards; s++ {
+			n := rng.Intn(10)
+			var l []Hit
+			for i := 0; i < n; i++ {
+				h := Hit{SeqIndex: i, Score: rng.Intn(5)} // few distinct scores force ties
+				l = append(l, h)
+				global = append(global, Hit{SeqIndex: at + i, Score: h.Score})
+			}
+			// Per-shard lists arrive in TopHits order, capped at k.
+			sort.SliceStable(l, func(a, b int) bool { return HitBefore(l[a], l[b]) })
+			if len(l) > k {
+				l = l[:k]
+			}
+			lists = append(lists, l)
+			offsets = append(offsets, at)
+			at += n
+		}
+		want := make([]Hit, len(global))
+		copy(want, global)
+		sort.SliceStable(want, func(a, b int) bool { return HitBefore(want[a], want[b]) })
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := MergeTopK(lists, offsets, k)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d (shards=%d k=%d):\n got %v\nwant %v", iter, shards, k, got, want)
+		}
+	}
+}
+
+func TestMergeTopKEdgeCases(t *testing.T) {
+	if got := MergeTopK(nil, nil, 5); len(got) != 0 {
+		t.Fatalf("merge of no lists returned %v", got)
+	}
+	if got := MergeTopK([][]Hit{nil, {}}, []int{0, 3}, 5); len(got) != 0 {
+		t.Fatalf("merge of empty lists returned %v", got)
+	}
+	// Ties across shards break on the global (offset-lifted) index.
+	lists := [][]Hit{
+		{{SeqIndex: 0, Score: 7}},
+		{{SeqIndex: 0, Score: 7}},
+	}
+	got := MergeTopK(lists, []int{4, 1}, 2)
+	if len(got) != 2 || got[0].SeqIndex != 1 || got[1].SeqIndex != 4 {
+		t.Fatalf("tie broke wrong: %v", got)
+	}
+	// Input lists must not be mutated by the index lift.
+	if lists[0][0].SeqIndex != 0 || lists[1][0].SeqIndex != 0 {
+		t.Fatalf("merge mutated its inputs: %v", lists)
+	}
+	// k larger than the total just returns everything.
+	if got := MergeTopK(lists, []int{4, 1}, 99); len(got) != 2 {
+		t.Fatalf("oversized k returned %d hits", len(got))
+	}
+}

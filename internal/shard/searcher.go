@@ -1,0 +1,246 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swdual/internal/engine"
+	"swdual/internal/master"
+	"swdual/internal/seq"
+)
+
+// Config tunes a sharded Searcher.
+type Config struct {
+	// Shards is the number of database partitions (default 1). Shards may
+	// exceed the sequence count; the surplus shards are empty.
+	Shards int
+	// Strategy selects the split (Contiguous default).
+	Strategy Strategy
+	// Engine configures each per-shard engine.Searcher: worker counts are
+	// per shard, so Shards×(CPUs+GPUs) workers run in total.
+	Engine engine.Config
+}
+
+// Searcher is a sharded search service: one engine.Searcher per database
+// shard, a scatter of every Search call to all shards concurrently, and
+// a deterministic gather of per-query hits (score desc, then shard-global
+// SeqIndex asc) that makes results byte-identical to an unsharded engine
+// over the same database.
+type Searcher struct {
+	db       *seq.Set
+	strategy Strategy
+	topK     int
+
+	ranges []Range
+	shards []*engine.Searcher
+
+	dbResidues int64
+	dbLengths  []int
+	checksum   uint32
+
+	searches atomic.Uint64
+	queries  atomic.Uint64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New splits db into cfg.Shards contiguous shards with cfg.Strategy and
+// prepares one engine.Searcher (with its own worker pool) per shard.
+// Callers own the returned Searcher and must Close it to release every
+// shard's workers.
+func New(db *seq.Set, cfg Config) (*Searcher, error) {
+	if db == nil {
+		return nil, fmt.Errorf("shard: nil database")
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	topK := cfg.Engine.TopK
+	if topK <= 0 {
+		topK = engine.DefaultTopK // the gather cap must agree with each shard's cap
+	}
+	s := &Searcher{
+		db:        db,
+		strategy:  cfg.Strategy,
+		topK:      topK,
+		dbLengths: make([]int, db.Len()),
+	}
+	crc := crc32.NewIEEE()
+	for i := range db.Seqs {
+		s.dbLengths[i] = db.Seqs[i].Len()
+		s.dbResidues += int64(db.Seqs[i].Len())
+		crc.Write(db.Seqs[i].Residues)
+	}
+	s.checksum = crc.Sum32()
+	s.ranges = SplitRanges(s.dbLengths, cfg.Shards, cfg.Strategy)
+	for _, r := range s.ranges {
+		sh, err := engine.New(db.Slice(r.Lo, r.Hi), cfg.Engine)
+		if err != nil {
+			for _, prev := range s.shards {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("shard %d [%d,%d): %w", len(s.shards), r.Lo, r.Hi, err)
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s, nil
+}
+
+// Shards returns the number of shards.
+func (s *Searcher) Shards() int { return len(s.shards) }
+
+// Ranges returns each shard's [Lo, Hi) database slice.
+func (s *Searcher) Ranges() []Range { return s.ranges }
+
+// Strategy returns the split strategy the Searcher was built with.
+func (s *Searcher) Strategy() Strategy { return s.strategy }
+
+// DB returns the whole (unsharded) database.
+func (s *Searcher) DB() *seq.Set { return s.db }
+
+// DBLengths returns the precomputed whole-database sequence lengths.
+func (s *Searcher) DBLengths() []int { return s.dbLengths }
+
+// Checksum fingerprints the whole database (CRC-32 of all residues, the
+// same value an unsharded engine.Searcher reports), so serve-mode
+// clients cannot tell a sharded backend from an unsharded one.
+func (s *Searcher) Checksum() uint32 { return s.checksum }
+
+// Stats aggregates the per-shard engine counters: preparation passes and
+// workers sum across shards (N shards prepare N times), while Searches
+// and Queries count the facade's own calls — each Search fans out to
+// every shard but is still one search.
+func (s *Searcher) Stats() engine.Stats {
+	agg := engine.Stats{
+		DBSequences: s.db.Len(),
+		DBResidues:  s.dbResidues,
+		DBChecksum:  s.checksum,
+		Searches:    s.searches.Load(),
+		Queries:     s.queries.Load(),
+	}
+	for _, sh := range s.shards {
+		st := sh.Stats()
+		agg.Prepared += st.Prepared
+		agg.WorkersStarted += st.WorkersStarted
+		agg.Waves += st.Waves
+		agg.BatchedWaves += st.BatchedWaves
+	}
+	return agg
+}
+
+// PerShardStats reports each shard's own engine counters, in shard order.
+func (s *Searcher) PerShardStats() []engine.Stats {
+	out := make([]engine.Stats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Stats()
+	}
+	return out
+}
+
+// Search scatters the query set to every shard concurrently, waits for
+// all of them, and gathers each query's hits through the deterministic
+// TopK merge. It is safe for any number of goroutines and honors ctx the
+// way the underlying engines do: on cancellation every shard returns
+// ctx.Err() and unstarted tasks are skipped. Because a global top-k hit
+// is necessarily in its own shard's top-k, merging the per-shard lists
+// loses nothing.
+func (s *Searcher) Search(ctx context.Context, queries *seq.Set, opts engine.SearchOptions) (*master.Report, error) {
+	if queries == nil {
+		return nil, fmt.Errorf("shard: nil query set")
+	}
+	if queries.Alpha != s.db.Alpha {
+		return nil, fmt.Errorf("shard: query alphabet differs from database alphabet")
+	}
+	topK := opts.TopK
+	if topK <= 0 || topK > s.topK {
+		topK = s.topK
+	}
+	start := time.Now()
+	s.searches.Add(1)
+	s.queries.Add(uint64(queries.Len()))
+
+	reps := make([]*master.Report, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reps[i], errs[i] = s.shards[i].Search(ctx, queries, engine.SearchOptions{TopK: topK})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s.gather(queries, reps, topK, start), nil
+}
+
+// gather merges the per-shard reports into one whole-database Report:
+// hits via MergeTopK with each shard's index offset, accounting by sum,
+// and worker tallies under shard-prefixed names (every shard has its own
+// cpu-0). No single Schedule spans the shards — each ran its own wave —
+// so Schedule stays nil.
+func (s *Searcher) gather(queries *seq.Set, reps []*master.Report, topK int, start time.Time) *master.Report {
+	rep := &master.Report{
+		Policy:      reps[0].Policy,
+		Results:     make([]master.QueryResult, queries.Len()),
+		WorkerBusy:  map[string]time.Duration{},
+		WorkerTasks: map[string]int{},
+	}
+	lists := make([][]master.Hit, len(reps))
+	offsets := make([]int, len(reps))
+	for qi := range rep.Results {
+		qr := master.QueryResult{QueryIndex: qi, QueryID: queries.Seqs[qi].ID}
+		for si, r := range reps {
+			res := r.Results[qi]
+			lists[si] = res.Hits
+			offsets[si] = s.ranges[si].Lo
+			qr.Elapsed += res.Elapsed
+			qr.SimSeconds += res.SimSeconds
+			qr.Cells += res.Cells
+		}
+		qr.Hits = master.MergeTopK(lists, offsets, topK)
+		rep.Results[qi] = qr
+		rep.Cells += qr.Cells
+	}
+	for si, r := range reps {
+		for name, d := range r.WorkerBusy {
+			rep.WorkerBusy[fmt.Sprintf("shard%d/%s", si, name)] += d
+		}
+		for name, n := range r.WorkerTasks {
+			rep.WorkerTasks[fmt.Sprintf("shard%d/%s", si, name)] += n
+		}
+		// Shards run concurrently, so the modeled makespan of the sharded
+		// search is the slowest shard's wave, not the sum.
+		if r.SimMakespan > rep.SimMakespan {
+			rep.SimMakespan = r.SimMakespan
+		}
+	}
+	rep.Wall = time.Since(start)
+	if sec := rep.Wall.Seconds(); sec > 0 {
+		rep.GCUPS = float64(rep.Cells) / sec / 1e9
+	}
+	return rep
+}
+
+// Close closes every shard's engine (dispatcher and worker pool). It is
+// idempotent and safe to call concurrently; the first error wins. Search
+// calls after Close fail with engine.ErrClosed.
+func (s *Searcher) Close() error {
+	s.closeOnce.Do(func() {
+		for _, sh := range s.shards {
+			if err := sh.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
+}

@@ -166,7 +166,7 @@ func Marshal(msg any) (byte, []byte, error) {
 	case *ErrorMsg:
 		e.str(m.Text)
 		return TypeError, e.buf, nil
-	case nil:
+	case Done, nil:
 		return TypeDone, nil, nil
 	}
 	return 0, nil, fmt.Errorf("wire: cannot marshal %T", msg)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"swdual/internal/engine"
+	"swdual/internal/shard"
 )
 
 // Searcher is a persistent search service over one database: it loads
@@ -19,10 +20,27 @@ import (
 // A Searcher must be Closed to release its workers. For a single search
 // the package-level Search remains the simplest entry point; it is now
 // a thin wrapper over a temporary Searcher.
+//
+// With Options.Shards > 1 the database is partitioned across that many
+// independent per-shard engines; Search scatters to all of them and
+// gathers the per-query hits through a deterministic TopK merge, so the
+// results stay byte-identical to the unsharded engine.
 type Searcher struct {
-	inner *engine.Searcher
-	db    *Database
-	opt   Options
+	inner  backend
+	db     *Database
+	opt    Options
+	shards int
+}
+
+// backend is what the public Searcher needs from its engine: the
+// unsharded engine.Searcher and the sharded scatter/gather facade both
+// satisfy it, so every public method — Search, Plan, Serve, Stats,
+// Checksum, Close — spans shards transparently.
+type backend interface {
+	engine.Backend
+	DBLengths() []int
+	Stats() engine.Stats
+	Close() error
 }
 
 // SearchOptions tunes one Searcher.Search call.
@@ -64,11 +82,26 @@ func newSearcher(db *Database, opt Options, batchWindow int) (*Searcher, error) 
 	if batchWindow < 0 {
 		cfg.BatchWindow = -1 // one-shot runs have no co-callers to wait for
 	}
-	inner, err := engine.New(db.set, cfg)
+	strategy, err := shard.ParseStrategy(opt.ShardSplit)
 	if err != nil {
 		return nil, err
 	}
-	return &Searcher{inner: inner, db: db, opt: opt}, nil
+	var inner backend
+	shards := 1
+	if opt.Shards > 1 {
+		sh, err := shard.New(db.set, shard.Config{Shards: opt.Shards, Strategy: strategy, Engine: cfg})
+		if err != nil {
+			return nil, err
+		}
+		inner, shards = sh, sh.Shards()
+	} else {
+		eng, err := engine.New(db.set, cfg)
+		if err != nil {
+			return nil, err
+		}
+		inner = eng
+	}
+	return &Searcher{inner: inner, db: db, opt: opt, shards: shards}, nil
 }
 
 // Search compares every query against the database and returns merged,
@@ -101,8 +134,14 @@ func (s *Searcher) Serve(l net.Listener) error {
 }
 
 // Stats reports the Searcher's cumulative counters (preparation passes,
-// workers started, searches, waves).
+// workers started, searches, waves). On a sharded Searcher the counters
+// span every shard: preparation passes and workers sum across shards
+// while Searches counts each scatter/gather call once.
 func (s *Searcher) Stats() SearcherStats { return s.inner.Stats() }
+
+// Shards reports how many database shards back the Searcher (1 when
+// unsharded).
+func (s *Searcher) Shards() int { return s.shards }
 
 // Database returns the loaded database.
 func (s *Searcher) Database() *Database { return s.db }

@@ -54,6 +54,15 @@ type Options struct {
 	// Policy selects the allocation policy: "dual-approx" (default),
 	// "dual-approx-dp", "self-scheduling" or "round-robin".
 	Policy string
+	// Shards splits the database into this many independent shards, each
+	// served by its own engine and worker pool (CPUs and GPUs are then
+	// per shard); searches scatter to every shard and gather through a
+	// deterministic TopK merge, so results are byte-identical to an
+	// unsharded search. 0 or 1 disables sharding.
+	Shards int
+	// ShardSplit selects the shard boundaries: "contiguous" (default,
+	// equal sequence counts) or "balanced" (equal residue volume).
+	ShardSplit string
 }
 
 func (o Options) params() (sw.Params, error) {

@@ -323,6 +323,87 @@ func TestSearcherServe(t *testing.T) {
 	}
 }
 
+// TestShardedSearcherMatchesUnsharded is the public-API acceptance check
+// of the sharding layer: Options.Shards with either split strategy must
+// return hits identical to the unsharded engine, over the serve wire too.
+func TestShardedSearcherMatchesUnsharded(t *testing.T) {
+	db, err := swdual.GenerateDatabase("UniProt", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := swdual.GenerateQueries("standard", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := swdual.Search(db, queries, swdual.Options{CPUs: 1, GPUs: 1, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, split := range []string{"contiguous", "balanced"} {
+		s, err := swdual.NewSearcher(db, swdual.Options{
+			CPUs: 1, GPUs: 1, TopK: 5, Shards: 3, ShardSplit: split,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Shards() != 3 {
+			t.Fatalf("%s: %d shards, want 3", split, s.Shards())
+		}
+		got, err := s.Search(context.Background(), queries, swdual.SearchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := range got.Results {
+			a, b := got.Results[qi].Hits, want.Results[qi].Hits
+			if len(a) != len(b) {
+				t.Fatalf("%s query %d: %d hits vs %d", split, qi, len(a), len(b))
+			}
+			for hi := range a {
+				if a[hi] != b[hi] {
+					t.Fatalf("%s query %d hit %d: %+v vs %+v", split, qi, hi, a[hi], b[hi])
+				}
+			}
+		}
+		if st := s.Stats(); st.Prepared != 3 {
+			t.Fatalf("%s: %d preparation passes, want one per shard", split, st.Prepared)
+		}
+
+		// Serve mode over a sharded backend: remote clients see the same
+		// hits and the same whole-database checksum.
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- s.Serve(l) }()
+		remote, err := swdual.QueryServer(l.Addr().String(), queries, s.Checksum())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := range remote.Results {
+			a, b := remote.Results[qi].Hits, want.Results[qi].Hits
+			if len(a) != len(b) {
+				t.Fatalf("%s remote query %d: %d hits vs %d", split, qi, len(a), len(b))
+			}
+			for hi := range a {
+				if a[hi].SeqIndex != b[hi].SeqIndex || a[hi].Score != b[hi].Score {
+					t.Fatalf("%s remote query %d hit %d mismatch", split, qi, hi)
+				}
+			}
+		}
+		l.Close()
+		if err := <-serveDone; err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := swdual.NewSearcher(db, swdual.Options{Shards: 2, ShardSplit: "bogus"}); err == nil {
+		t.Fatal("bogus shard split accepted")
+	}
+}
+
 func TestGenerateErrors(t *testing.T) {
 	if _, err := swdual.GenerateDatabase("NotADatabase", 1); err == nil {
 		t.Fatal("expected error for unknown preset")
