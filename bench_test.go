@@ -13,6 +13,7 @@ package swdual_test
 import (
 	"context"
 	"fmt"
+	"net"
 	"testing"
 
 	"swdual"
@@ -75,6 +76,68 @@ func BenchmarkShardedSearch(b *testing.B) {
 			s, err := swdual.NewSearcher(db, swdual.Options{
 				CPUs: 1, GPUs: 1, TopK: 5, Shards: shards, ShardSplit: "balanced",
 			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Search(ctx, queries, swdual.SearchOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRemoteShardedSearch prices the transport swap: the same
+// scatter/gather once over localhost TCP shard servers (cluster serve)
+// and once over in-process shards, for 1, 2 and 4 shards. The hits are
+// byte-identical either way; the delta is pure wire cost (framing,
+// syscalls, one coalescing hop per shard).
+func BenchmarkRemoteShardedSearch(b *testing.B) {
+	db, queries := benchSearchData(b)
+	for _, shards := range []int{1, 2, 4} {
+		opt := swdual.Options{CPUs: 1, GPUs: 1, TopK: 5, ShardSplit: "balanced"}
+
+		b.Run(fmt.Sprintf("remote/shards=%d", shards), func(b *testing.B) {
+			addrs := make([]string, shards)
+			listeners := make([]net.Listener, shards)
+			for i := 0; i < shards; i++ {
+				l, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				listeners[i] = l
+				addrs[i] = l.Addr().String()
+				go swdual.ServeShard(l, db, i, shards, opt)
+			}
+			defer func() {
+				for _, l := range listeners {
+					l.Close()
+				}
+			}()
+			coordOpt := opt
+			coordOpt.RemoteShards = addrs
+			s, err := swdual.NewSearcher(db, coordOpt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Search(ctx, queries, swdual.SearchOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("inproc/shards=%d", shards), func(b *testing.B) {
+			inOpt := opt
+			inOpt.Shards = shards
+			s, err := swdual.NewSearcher(db, inOpt)
 			if err != nil {
 				b.Fatal(err)
 			}

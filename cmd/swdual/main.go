@@ -11,6 +11,15 @@
 //	swdual -db db.fasta -serve :4015 -shards 4      # sharded scatter/gather
 //	swdual -remote host:4015 -query q.fasta         # query a served engine
 //
+// Cluster serve distributes the shards across processes: each shard
+// server holds the same database and serves one slice of it, and a
+// coordinator scatters every query over the network, gathering hits
+// byte-identical to a local search:
+//
+//	swdual -db db.fasta -shard-serve :4016 -shard-index 0 -shard-count 2
+//	swdual -db db.fasta -shard-serve :4017 -shard-index 1 -shard-count 2
+//	swdual -db db.fasta -query q.fasta -remote-shards host:4016,host:4017
+//
 // Serve mode loads the database once, keeps the worker pool alive, and
 // answers every client over the wire protocol; queries from concurrent
 // clients coalesce into shared scheduling waves.
@@ -46,6 +55,11 @@ func main() {
 		remote   = flag.String("remote", "", "send the queries to a serve-mode engine at this address")
 		shards   = flag.Int("shards", 1, "split the database into this many shards, each with its own worker pool")
 		split    = flag.String("shard-split", "contiguous", "shard boundary strategy: contiguous | balanced")
+
+		shardServe = flag.String("shard-serve", "", "serve one shard of the database on this address (cluster serve)")
+		shardIndex = flag.Int("shard-index", 0, "which shard -shard-serve exposes")
+		shardCount = flag.Int("shard-count", 1, "how many shards the database is split into for -shard-serve")
+		remShards  = flag.String("remote-shards", "", "comma-separated shard server addresses; search as the coordinator, scattering over them")
 	)
 	flag.Parse()
 
@@ -59,6 +73,9 @@ func main() {
 		Policy:     *policy,
 		Shards:     *shards,
 		ShardSplit: *split,
+	}
+	if *remShards != "" {
+		opt.RemoteShards = strings.Split(*remShards, ",")
 	}
 
 	if *remote != "" {
@@ -87,6 +104,19 @@ func main() {
 	db, err := load(*dbPath)
 	if err != nil {
 		log.Fatalf("loading database: %v", err)
+	}
+
+	if *shardServe != "" {
+		l, err := net.Listen("tcp", *shardServe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving shard %d/%d of %d sequences (split %s) on %s with %d CPU + %d GPU workers",
+			*shardIndex, *shardCount, db.Len(), *split, l.Addr(), *cpus, *gpus)
+		if err := swdual.ServeShard(l, db, *shardIndex, *shardCount, opt); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if *serve != "" {

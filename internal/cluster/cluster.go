@@ -14,7 +14,6 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"net"
 	"sync"
 	"time"
@@ -49,13 +48,12 @@ type Report struct {
 }
 
 // DBChecksum fingerprints a database so master and workers can verify
-// they loaded the same sequences.
+// they loaded the same sequences. It is the module-wide fingerprint
+// (seq.Set.Checksum) — the same value the persistent engine and the
+// sharding facade report, so a cluster worker, a serve-mode client and a
+// remote shard coordinator all agree on what "the same database" means.
 func DBChecksum(db *seq.Set) uint32 {
-	crc := crc32.NewIEEE()
-	for i := range db.Seqs {
-		crc.Write(db.Seqs[i].Residues)
-	}
-	return crc.Sum32()
+	return db.Checksum()
 }
 
 // workerConn is one registered worker.

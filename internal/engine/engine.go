@@ -20,11 +20,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"runtime"
 	"sync/atomic"
 	"time"
 
+	"swdual/internal/alphabet"
 	"swdual/internal/master"
 	"swdual/internal/sched"
 	"swdual/internal/seq"
@@ -186,20 +186,43 @@ func New(db *seq.Set, cfg Config) (*Searcher, error) {
 func (s *Searcher) prepare() {
 	s.dbResidues = s.db.TotalResidues()
 	s.dbLengths = make([]int, s.db.Len())
-	crc := crc32.NewIEEE()
 	for i := range s.db.Seqs {
 		s.dbLengths[i] = s.db.Seqs[i].Len()
-		crc.Write(s.db.Seqs[i].Residues)
 	}
-	s.checksum = crc.Sum32()
+	s.checksum = s.db.Checksum()
 	s.prepared.Add(1)
 }
 
 // DB returns the loaded database.
 func (s *Searcher) DB() *seq.Set { return s.db }
 
+// Alphabet returns the database alphabet.
+func (s *Searcher) Alphabet() *alphabet.Alphabet { return s.db.Alpha }
+
 // DBLengths returns the precomputed database sequence lengths.
 func (s *Searcher) DBLengths() []int { return s.dbLengths }
+
+// Plan runs only the Searcher's scheduling policy over hypothetical
+// queries of the given lengths, against the prepared database statistics
+// and the live pool's advertised rates — no search runs. A dynamic
+// policy (self-scheduling) produces no static schedule and returns
+// (nil, nil); serve mode answers Plan frames with this.
+func (s *Searcher) Plan(queryLens []int) (*sched.Schedule, error) {
+	switch s.cfg.Policy {
+	case master.PolicySelfScheduling, master.PolicyRoundRobin:
+		return nil, nil
+	}
+	ids := make([]string, len(queryLens))
+	for i := range ids {
+		ids[i] = fmt.Sprintf("q%d", i)
+	}
+	in := master.BuildInstance(s.dbResidues, queryLens, ids, s.pool.Rates())
+	_, schedule, err := master.Assign(s.cfg.Policy, in, s.pool.Workers())
+	if err != nil {
+		return nil, err
+	}
+	return schedule, nil
+}
 
 // Checksum fingerprints the loaded database (CRC-32 of all residues).
 func (s *Searcher) Checksum() uint32 { return s.checksum }

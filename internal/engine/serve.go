@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 
+	"swdual/internal/alphabet"
 	"swdual/internal/master"
+	"swdual/internal/sched"
 	"swdual/internal/seq"
 	"swdual/internal/wire"
 )
@@ -14,7 +17,10 @@ import (
 // Serve mode: the Searcher exposed over the internal/wire protocol.
 // Unlike the cluster runtime — where the master pushes tasks to remote
 // workers — serve mode inverts the roles: remote clients push queries to
-// a long-lived master. One connection is one search request:
+// a long-lived master. Two client dialects share one listener; the
+// server tells them apart by the first frame after the handshake.
+//
+// The original stream dialect (one connection is one search request):
 //
 //	client                               server
 //	Hello{Name, DBChecksum?}  ->
@@ -24,24 +30,44 @@ import (
 //	                          <-  Result (one per query, in order)
 //	                          <-  Done
 //
+// The multiplexed dialect (one connection is a session; every frame
+// carries a request id, any number of requests in flight):
+//
+//	client                               server
+//	Hello{Name, DBChecksum?}  ->
+//	                          <-  Welcome{QueryCount: 0, DBChecksum}
+//	SearchRequest{ID: 1, …}   ->
+//	StatsRequest{ID: 2}       ->
+//	                          <-  StatsResponse{ID: 2, …}
+//	Cancel{ID: 1}             ->  (optional)
+//	                          <-  SearchResult{ID: 1, …} | ReqError{ID: 1}
+//	Done                      ->  (ends the session)
+//
 // A non-zero Hello.DBChecksum must match the server database, so a
 // client that also holds the database locally can verify both ends
 // search the same sequences. Residues cross the wire encoded in the
-// server database's alphabet. Concurrent connections are coalesced into
-// shared scheduling waves by the Searcher's dispatcher.
+// server database's alphabet. Concurrent requests — from one multiplexed
+// session or from many connections — are coalesced into shared
+// scheduling waves by the Searcher's dispatcher. When a connection dies,
+// its in-flight requests are canceled.
 
-// Backend is the search service Serve exposes: the in-process Searcher
-// or any equivalent — e.g. a sharded scatter/gather facade whose merged
-// results are byte-identical to one Searcher over the whole database.
+// Backend is the search service Serve exposes and remote clients stand
+// in for: the in-process Searcher, the sharded scatter/gather facade, or
+// a remote.Backend speaking this protocol to another process — all
+// byte-identical to one Searcher over the whole database.
 type Backend interface {
 	Search(ctx context.Context, queries *seq.Set, opts SearchOptions) (*master.Report, error)
-	DB() *seq.Set
+	Plan(queryLens []int) (*sched.Schedule, error)
+	Stats() Stats
 	Checksum() uint32
+	DBLengths() []int
+	Alphabet() *alphabet.Alphabet
+	Close() error
 }
 
 // Serve accepts connections on l and answers each over the wire
 // protocol until the listener is closed (use l.Close to stop). Each
-// connection's queries become one Search call on the backend, so
+// connection's queries become Search calls on the backend, so
 // concurrent clients batch into waves. Serve returns nil when l closes.
 func Serve(l net.Listener, s Backend) error {
 	for {
@@ -57,6 +83,19 @@ func Serve(l net.Listener, s Backend) error {
 			serveConn(wire.NewConn(nc), s)
 		}()
 	}
+}
+
+// checkResidues rejects out-of-range residue codes at the boundary: wire
+// bytes are untrusted, and a code past the alphabet would index past the
+// score profiles inside the kernels and crash the shared engine.
+func checkResidues(alpha *alphabet.Alphabet, id string, residues []byte) error {
+	limit := byte(alpha.Len())
+	for _, r := range residues {
+		if r >= limit {
+			return fmt.Errorf("engine: query %q has residue code %d outside the %s alphabet (max %d); send residues encoded with the server alphabet", id, r, alpha.Name(), limit-1)
+		}
+	}
+	return nil
 }
 
 // serveConn answers one client. Protocol errors end the connection; the
@@ -83,12 +122,27 @@ func serveConn(c *wire.Conn, s Backend) {
 	if err := c.Send(&wire.Welcome{Version: wire.Version, DBChecksum: s.Checksum()}); err != nil {
 		return
 	}
-	queries := seq.NewSet(s.DB().Alpha)
+	// The first frame selects the dialect: Task (or an immediate Done)
+	// starts the original one-request stream, anything else the
+	// multiplexed session.
+	msg, err = c.Recv()
+	if err != nil {
+		return
+	}
+	switch msg.(type) {
+	case *wire.Task, wire.Done:
+		serveStream(c, s, msg)
+	default:
+		serveMux(c, s, msg)
+	}
+}
+
+// serveStream runs the original dialect: collect the query stream, run
+// one Search, return the results in order.
+func serveStream(c *wire.Conn, s Backend, msg any) {
+	fail := func(err error) { c.Send(&wire.ErrorMsg{Text: err.Error()}) }
+	queries := seq.NewSet(s.Alphabet())
 	for {
-		msg, err := c.Recv()
-		if err != nil {
-			return
-		}
 		if _, done := msg.(wire.Done); done {
 			break
 		}
@@ -101,17 +155,15 @@ func serveConn(c *wire.Conn, s Backend) {
 			fail(fmt.Errorf("engine: query %d arrived out of order (want %d)", t.QueryIndex, queries.Len()))
 			return
 		}
-		// Wire bytes are untrusted: an out-of-range residue code would
-		// index past the score profiles inside the kernels and crash the
-		// shared engine, so reject it at the boundary.
-		limit := byte(queries.Alpha.Len())
-		for _, r := range t.Residues {
-			if r >= limit {
-				fail(fmt.Errorf("engine: query %q has residue code %d outside the %s alphabet (max %d); send residues encoded with the server alphabet", t.QueryID, r, queries.Alpha.Name(), limit-1))
-				return
-			}
+		if err := checkResidues(queries.Alpha, t.QueryID, t.Residues); err != nil {
+			fail(err)
+			return
 		}
 		queries.AddEncoded(t.QueryID, "", t.Residues)
+		var err error
+		if msg, err = c.Recv(); err != nil {
+			return
+		}
 	}
 	rep, err := s.Search(context.Background(), queries, SearchOptions{})
 	if err != nil {
@@ -124,6 +176,165 @@ func serveConn(c *wire.Conn, s Backend) {
 		}
 	}
 	c.Send(nil) // Done
+}
+
+// muxSession is one multiplexed connection: a read loop dispatching
+// frames, per-request goroutines answering them, and a write lock
+// serializing their responses.
+type muxSession struct {
+	c *wire.Conn
+	s Backend
+
+	wmu sync.Mutex // guards c.Send
+
+	ctx    context.Context // canceled when the read loop exits
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	inflight map[uint64]context.CancelFunc
+	wg       sync.WaitGroup
+}
+
+func (m *muxSession) send(msg any) error {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	return m.c.Send(msg)
+}
+
+func (m *muxSession) failReq(id uint64, err error) {
+	m.send(&wire.ReqError{ID: id, Text: err.Error()})
+}
+
+// serveMux runs the multiplexed dialect starting from the first
+// non-stream frame. When the loop exits — client Done, protocol error,
+// or a dead connection — every in-flight request is canceled and the
+// session waits for its goroutines before returning.
+func serveMux(c *wire.Conn, s Backend, first any) {
+	m := &muxSession{c: c, s: s, inflight: map[uint64]context.CancelFunc{}}
+	m.ctx, m.cancel = context.WithCancel(context.Background())
+	defer func() {
+		m.cancel()
+		m.wg.Wait()
+	}()
+	msg := first
+	for {
+		if done := m.handle(msg); done {
+			return
+		}
+		var err error
+		if msg, err = c.Recv(); err != nil {
+			return
+		}
+	}
+}
+
+// handle processes one frame; it reports true when the session is over.
+func (m *muxSession) handle(msg any) (done bool) {
+	switch t := msg.(type) {
+	case wire.Done:
+		return true
+	case *wire.SearchRequest:
+		m.startSearch(t)
+	case *wire.Cancel:
+		m.mu.Lock()
+		if cancel, ok := m.inflight[t.ID]; ok {
+			cancel()
+		}
+		m.mu.Unlock()
+	case *wire.StatsRequest:
+		st := m.s.Stats()
+		m.send(&wire.StatsResponse{
+			ID:             t.ID,
+			DBSequences:    uint32(st.DBSequences),
+			DBResidues:     uint64(st.DBResidues),
+			DBChecksum:     st.DBChecksum,
+			Prepared:       uint32(st.Prepared),
+			WorkersStarted: uint32(st.WorkersStarted),
+			Searches:       st.Searches,
+			Queries:        st.Queries,
+			Waves:          st.Waves,
+			BatchedWaves:   st.BatchedWaves,
+		})
+	case *wire.ChecksumRequest:
+		m.send(&wire.ChecksumResponse{ID: t.ID, Checksum: m.s.Checksum()})
+	case *wire.InfoRequest:
+		lengths := m.s.DBLengths()
+		info := &wire.Info{ID: t.ID, Alphabet: m.s.Alphabet().Name(), Checksum: m.s.Checksum(), Lengths: make([]uint32, len(lengths))}
+		for i, l := range lengths {
+			info.Lengths[i] = uint32(l)
+		}
+		m.send(info)
+	case *wire.PlanRequest:
+		lens := make([]int, len(t.QueryLens))
+		for i, l := range t.QueryLens {
+			lens[i] = int(l)
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			sch, err := m.s.Plan(lens)
+			if err != nil {
+				m.failReq(t.ID, err)
+				return
+			}
+			resp := &wire.PlanResponse{ID: t.ID}
+			if sch != nil {
+				resp.Algorithm = sch.Algorithm
+				resp.Makespan = sch.Makespan
+				resp.CPULoads = sch.CPULoads
+				resp.GPULoads = sch.GPULoads
+			}
+			m.send(resp)
+		}()
+	default:
+		m.send(&wire.ErrorMsg{Text: fmt.Sprintf("engine: unexpected %T in multiplexed session", msg)})
+		return true
+	}
+	return false
+}
+
+// startSearch validates one SearchRequest and answers it from its own
+// goroutine, so the read loop keeps dispatching (and can deliver the
+// Cancel that aborts this very request).
+func (m *muxSession) startSearch(req *wire.SearchRequest) {
+	queries := seq.NewSet(m.s.Alphabet())
+	for _, q := range req.Queries {
+		if err := checkResidues(queries.Alpha, q.ID, q.Residues); err != nil {
+			m.failReq(req.ID, err)
+			return
+		}
+		queries.AddEncoded(q.ID, "", q.Residues)
+	}
+	rctx, rcancel := context.WithCancel(m.ctx)
+	m.mu.Lock()
+	if _, dup := m.inflight[req.ID]; dup {
+		m.mu.Unlock()
+		rcancel()
+		m.failReq(req.ID, fmt.Errorf("engine: request id %d already in flight", req.ID))
+		return
+	}
+	m.inflight[req.ID] = rcancel
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer func() {
+			m.mu.Lock()
+			delete(m.inflight, req.ID)
+			m.mu.Unlock()
+			rcancel()
+		}()
+		rep, err := m.s.Search(rctx, queries, SearchOptions{TopK: int(req.TopK)})
+		if err != nil {
+			m.failReq(req.ID, err)
+			return
+		}
+		out := &wire.SearchResult{ID: req.ID, Results: make([]wire.Result, len(rep.Results))}
+		for qi, res := range rep.Results {
+			out.Results[qi] = *resultFrame(qi, res)
+		}
+		m.send(out)
+	}()
 }
 
 func resultFrame(qi int, res master.QueryResult) *wire.Result {
@@ -139,11 +350,12 @@ func resultFrame(qi int, res master.QueryResult) *wire.Result {
 	return out
 }
 
-// Query runs one search request against a serve-mode endpoint: it
-// registers, streams the queries, and collects one result per query in
-// order. A non-zero wantChecksum makes the server reject a database
-// mismatch. The queries must already be encoded in the server database's
-// alphabet.
+// Query runs one search request against a serve-mode endpoint using the
+// original stream dialect: it registers, streams the queries, and
+// collects one result per query in order. A non-zero wantChecksum makes
+// the server reject a database mismatch. The queries must already be
+// encoded in the server database's alphabet. The multiplexed dialect
+// lives in internal/remote.
 func Query(nc net.Conn, queries *seq.Set, wantChecksum uint32) ([]wire.Result, error) {
 	c := wire.NewConn(nc)
 	if err := c.Send(&wire.Hello{Version: wire.Version, Name: "client", DBChecksum: wantChecksum}); err != nil {

@@ -1,0 +1,419 @@
+// Package remote backs a database shard with another process. A Backend
+// dials an engine.Serve endpoint, speaks the multiplexed wire dialect
+// (request ids, so any number of calls are in flight on one connection),
+// and implements the same engine.Backend interface the in-process
+// Searcher does — so the sharded scatter/gather facade cannot tell a
+// local shard from one living across the network. This is the transport
+// swap the paper's §IV master-slave model was built for: MUSIC runs the
+// same hybrid alignment environment distributed over a cluster, and
+// Nguyen & Lavenier's fine-grained search engine partitions the bank
+// across networked nodes the same way.
+package remote
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/engine"
+	"swdual/internal/master"
+	"swdual/internal/sched"
+	"swdual/internal/seq"
+	"swdual/internal/wire"
+)
+
+// Backend is a client for one engine.Serve endpoint. It is safe for any
+// number of goroutines; concurrent Search calls multiplex over the one
+// connection and the server coalesces them into shared scheduling waves.
+// A Backend must be Closed to release the connection. Once the
+// connection is lost every call — in flight or future — fails with a
+// descriptive error; the Backend does not reconnect.
+type Backend struct {
+	addr string
+	nc   net.Conn
+	c    *wire.Conn
+	wmu  sync.Mutex // guards c.Send
+
+	// Database description fetched at Dial, immutable afterwards.
+	alpha    *alphabet.Alphabet
+	lengths  []int
+	checksum uint32
+
+	nextID  atomic.Uint64
+	mu      sync.Mutex
+	pending map[uint64]chan any // nil once the connection is down
+	readErr error               // set before readDone closes
+
+	readDone  chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+var _ engine.Backend = (*Backend)(nil)
+
+// rpcTimeout bounds the interface calls that carry no caller context
+// (Plan, Stats): a wedged server whose TCP connection stays open must
+// not block a coordinator forever. Generous — scheduling a plan is
+// subsecond work; only a stalled peer ever gets near it.
+const rpcTimeout = 30 * time.Second
+
+// Dial connects to an engine.Serve endpoint and fetches the database
+// description (alphabet, sequence lengths, checksum). A non-zero
+// wantChecksum is the skew guard: both ends verify it against the
+// server's database and the dial fails on mismatch, so a coordinator
+// never scatters queries to a shard holding different sequences.
+func Dial(addr string, wantChecksum uint32) (*Backend, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote %s: %w", addr, err)
+	}
+	b, err := newBackend(addr, nc, wantChecksum)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
+// newBackend runs the handshake and the synchronous Info exchange, then
+// starts the read loop.
+func newBackend(addr string, nc net.Conn, wantChecksum uint32) (*Backend, error) {
+	b := &Backend{
+		addr:     addr,
+		nc:       nc,
+		c:        wire.NewConn(nc),
+		pending:  map[uint64]chan any{},
+		readDone: make(chan struct{}),
+	}
+	if err := b.c.Send(&wire.Hello{Version: wire.Version, Name: "remote", DBChecksum: wantChecksum}); err != nil {
+		return nil, fmt.Errorf("remote %s: %w", addr, err)
+	}
+	msg, err := b.c.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("remote %s: %w", addr, err)
+	}
+	switch m := msg.(type) {
+	case *wire.Welcome:
+		if wantChecksum != 0 && m.DBChecksum != wantChecksum {
+			return nil, fmt.Errorf("remote %s: server database checksum %08x, want %08x", addr, m.DBChecksum, wantChecksum)
+		}
+	case *wire.ErrorMsg:
+		return nil, fmt.Errorf("remote %s: server: %s", addr, m.Text)
+	default:
+		return nil, fmt.Errorf("remote %s: expected Welcome, got %T", addr, msg)
+	}
+	// The InfoRequest doubles as the dialect switch: its id frame tells
+	// the server this connection is a multiplexed session.
+	if err := b.c.Send(&wire.InfoRequest{ID: b.nextID.Add(1)}); err != nil {
+		return nil, fmt.Errorf("remote %s: %w", addr, err)
+	}
+	msg, err = b.c.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("remote %s: %w", addr, err)
+	}
+	info, ok := msg.(*wire.Info)
+	if !ok {
+		return nil, fmt.Errorf("remote %s: expected Info, got %T", addr, msg)
+	}
+	if b.alpha, err = alphabetByName(info.Alphabet); err != nil {
+		return nil, fmt.Errorf("remote %s: %w", addr, err)
+	}
+	if wantChecksum != 0 && info.Checksum != wantChecksum {
+		return nil, fmt.Errorf("remote %s: server database checksum %08x, want %08x", addr, info.Checksum, wantChecksum)
+	}
+	b.checksum = info.Checksum
+	b.lengths = make([]int, len(info.Lengths))
+	for i, l := range info.Lengths {
+		b.lengths[i] = int(l)
+	}
+	go b.read()
+	return b, nil
+}
+
+func alphabetByName(name string) (*alphabet.Alphabet, error) {
+	for _, a := range []*alphabet.Alphabet{alphabet.Protein, alphabet.DNA, alphabet.RNA} {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown server alphabet %q", name)
+}
+
+// Addr returns the dialed address.
+func (b *Backend) Addr() string { return b.addr }
+
+// Alphabet returns the server database's alphabet.
+func (b *Backend) Alphabet() *alphabet.Alphabet { return b.alpha }
+
+// DBLengths returns the server database's sequence lengths, fetched once
+// at Dial.
+func (b *Backend) DBLengths() []int { return b.lengths }
+
+// Checksum fingerprints the server's database — the value verified
+// against the coordinator's local slice at Dial, cached so the sharding
+// facade's skew guard needs no round trip.
+func (b *Backend) Checksum() uint32 { return b.checksum }
+
+// read is the connection's single reader: it routes every response frame
+// to the call that registered its id. Responses for retired ids (the
+// caller gave up after cancellation) are discarded. On any connection
+// error the loop records it and wakes every waiter.
+func (b *Backend) read() {
+	for {
+		msg, err := b.c.Recv()
+		if err != nil {
+			b.down(fmt.Errorf("remote %s: connection lost: %w", b.addr, err))
+			return
+		}
+		id, ok := responseID(msg)
+		if !ok {
+			if em, isErr := msg.(*wire.ErrorMsg); isErr {
+				b.down(fmt.Errorf("remote %s: server: %s", b.addr, em.Text))
+			} else {
+				b.down(fmt.Errorf("remote %s: unexpected %T", b.addr, msg))
+			}
+			return
+		}
+		b.mu.Lock()
+		ch := b.pending[id]
+		delete(b.pending, id)
+		b.mu.Unlock()
+		if ch != nil {
+			ch <- msg
+		}
+	}
+}
+
+// responseID extracts the request id of a multiplexed response frame.
+func responseID(msg any) (uint64, bool) {
+	switch m := msg.(type) {
+	case *wire.SearchResult:
+		return m.ID, true
+	case *wire.ReqError:
+		return m.ID, true
+	case *wire.StatsResponse:
+		return m.ID, true
+	case *wire.PlanResponse:
+		return m.ID, true
+	case *wire.ChecksumResponse:
+		return m.ID, true
+	case *wire.Info:
+		return m.ID, true
+	}
+	return 0, false
+}
+
+// down marks the connection dead: no new calls register, every waiter
+// wakes with the recorded error.
+func (b *Backend) down(err error) {
+	b.mu.Lock()
+	if b.readErr == nil {
+		b.readErr = err
+	}
+	b.pending = nil
+	b.mu.Unlock()
+	close(b.readDone)
+}
+
+// lostErr reports why the connection is unusable.
+func (b *Backend) lostErr() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.readErr != nil {
+		return b.readErr
+	}
+	return fmt.Errorf("remote %s: connection lost", b.addr)
+}
+
+func (b *Backend) send(msg any) error {
+	b.wmu.Lock()
+	defer b.wmu.Unlock()
+	return b.c.Send(msg)
+}
+
+// call sends one request frame and waits for the response carrying the
+// same id. On ctx cancellation it sends a best-effort Cancel, retires
+// the id locally, and returns ctx.Err() — the server's eventual answer
+// is discarded by the read loop.
+func (b *Backend) call(ctx context.Context, id uint64, req any) (any, error) {
+	ch := make(chan any, 1)
+	b.mu.Lock()
+	if b.pending == nil {
+		b.mu.Unlock()
+		return nil, b.lostErr()
+	}
+	b.pending[id] = ch
+	b.mu.Unlock()
+	retire := func() {
+		b.mu.Lock()
+		if b.pending != nil {
+			delete(b.pending, id)
+		}
+		b.mu.Unlock()
+	}
+	if err := b.send(req); err != nil {
+		retire()
+		return nil, fmt.Errorf("remote %s: %w", b.addr, err)
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-ctx.Done():
+		// Async so a peer that stopped reading (write lock held by a
+		// stalled sender) cannot delay the caller's prompt return.
+		go b.send(&wire.Cancel{ID: id})
+		retire()
+		return nil, ctx.Err()
+	case <-b.readDone:
+		return nil, b.lostErr()
+	}
+}
+
+// Search compares the queries against the server's database and returns
+// the merged hits, byte-identical to what a local engine.Searcher over
+// the same sequences reports. Concurrent calls share the connection;
+// ctx cancellation aborts the request on both ends.
+func (b *Backend) Search(ctx context.Context, queries *seq.Set, opts engine.SearchOptions) (*master.Report, error) {
+	if queries == nil {
+		return nil, fmt.Errorf("remote %s: nil query set", b.addr)
+	}
+	if queries.Alpha != b.alpha {
+		return nil, fmt.Errorf("remote %s: query alphabet differs from server database alphabet", b.addr)
+	}
+	id := b.nextID.Add(1)
+	req := &wire.SearchRequest{ID: id, TopK: uint32(opts.TopK), Queries: make([]wire.Query, queries.Len())}
+	for qi := range queries.Seqs {
+		req.Queries[qi] = wire.Query{ID: queries.Seqs[qi].ID, Residues: queries.Seqs[qi].Residues}
+	}
+	start := time.Now()
+	resp, err := b.call(ctx, id, req)
+	if err != nil {
+		return nil, err
+	}
+	switch m := resp.(type) {
+	case *wire.SearchResult:
+		if len(m.Results) != queries.Len() {
+			return nil, fmt.Errorf("remote %s: %d results for %d queries", b.addr, len(m.Results), queries.Len())
+		}
+		rep := &master.Report{Results: make([]master.QueryResult, len(m.Results))}
+		for qi := range m.Results {
+			r := &m.Results[qi]
+			if int(r.QueryIndex) != qi {
+				return nil, fmt.Errorf("remote %s: result %d arrived at position %d", b.addr, r.QueryIndex, qi)
+			}
+			qr := master.QueryResult{
+				QueryIndex: qi,
+				QueryID:    queries.Seqs[qi].ID,
+				Elapsed:    time.Duration(r.ElapsedNS),
+				SimSeconds: r.SimSeconds,
+				Cells:      int64(r.Cells),
+			}
+			for _, h := range r.Hits {
+				qr.Hits = append(qr.Hits, master.Hit{SeqIndex: int(h.SeqIndex), SeqID: h.SeqID, Score: int(h.Score)})
+			}
+			rep.Results[qi] = qr
+			rep.Cells += qr.Cells
+		}
+		rep.Wall = time.Since(start)
+		if sec := rep.Wall.Seconds(); sec > 0 {
+			rep.GCUPS = float64(rep.Cells) / sec / 1e9
+		}
+		return rep, nil
+	case *wire.ReqError:
+		return nil, fmt.Errorf("remote %s: %s", b.addr, m.Text)
+	}
+	return nil, fmt.Errorf("remote %s: unexpected %T", b.addr, resp)
+}
+
+// Plan asks the server to run its scheduling policy over hypothetical
+// queries of the given lengths. The summary schedule carries the
+// algorithm, makespan and per-PE loads; placements stay server-side. A
+// server running a dynamic policy returns (nil, nil).
+func (b *Backend) Plan(queryLens []int) (*sched.Schedule, error) {
+	id := b.nextID.Add(1)
+	req := &wire.PlanRequest{ID: id, QueryLens: make([]uint32, len(queryLens))}
+	for i, l := range queryLens {
+		req.QueryLens[i] = uint32(l)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), rpcTimeout)
+	defer cancel()
+	resp, err := b.call(ctx, id, req)
+	if err != nil {
+		return nil, err
+	}
+	switch m := resp.(type) {
+	case *wire.PlanResponse:
+		if m.Algorithm == "" {
+			return nil, nil
+		}
+		return &sched.Schedule{Algorithm: m.Algorithm, Makespan: m.Makespan, CPULoads: m.CPULoads, GPULoads: m.GPULoads}, nil
+	case *wire.ReqError:
+		return nil, fmt.Errorf("remote %s: %s", b.addr, m.Text)
+	}
+	return nil, fmt.Errorf("remote %s: unexpected %T", b.addr, resp)
+}
+
+// Stats fetches the server engine's counters. A dead connection reports
+// zero counters — Stats has no error channel, and an aggregating caller
+// (the sharding facade) must keep working while a shard is down.
+func (b *Backend) Stats() engine.Stats {
+	id := b.nextID.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), rpcTimeout)
+	defer cancel()
+	resp, err := b.call(ctx, id, &wire.StatsRequest{ID: id})
+	if err != nil {
+		return engine.Stats{}
+	}
+	m, ok := resp.(*wire.StatsResponse)
+	if !ok {
+		return engine.Stats{}
+	}
+	return engine.Stats{
+		DBSequences:    int(m.DBSequences),
+		DBResidues:     int64(m.DBResidues),
+		DBChecksum:     m.DBChecksum,
+		Prepared:       int(m.Prepared),
+		WorkersStarted: int(m.WorkersStarted),
+		Searches:       m.Searches,
+		Queries:        m.Queries,
+		Waves:          m.Waves,
+		BatchedWaves:   m.BatchedWaves,
+	}
+}
+
+// ServerChecksum fetches the database fingerprint live (unlike Checksum,
+// which returns the value cached at Dial) — a cheap health probe that
+// also re-verifies the skew guard.
+func (b *Backend) ServerChecksum(ctx context.Context) (uint32, error) {
+	id := b.nextID.Add(1)
+	resp, err := b.call(ctx, id, &wire.ChecksumRequest{ID: id})
+	if err != nil {
+		return 0, err
+	}
+	switch m := resp.(type) {
+	case *wire.ChecksumResponse:
+		return m.Checksum, nil
+	case *wire.ReqError:
+		return 0, fmt.Errorf("remote %s: %s", b.addr, m.Text)
+	}
+	return 0, fmt.Errorf("remote %s: unexpected %T", b.addr, resp)
+}
+
+// Close closes the connection; the server observes the drop and cancels
+// this session's in-flight requests. It is idempotent and safe to call
+// concurrently; in-flight calls fail with a connection-closed error.
+// Closing the socket first — rather than sending a graceful Done — is
+// deliberate: a Done frame would need the write lock, and a peer that
+// stopped reading could then stall Close behind a blocked sender, when
+// closing the socket is the very thing that unblocks it.
+func (b *Backend) Close() error {
+	b.closeOnce.Do(func() {
+		b.closeErr = b.nc.Close()
+		<-b.readDone
+	})
+	return b.closeErr
+}

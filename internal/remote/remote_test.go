@@ -1,0 +1,249 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/engine"
+	"swdual/internal/master"
+	"swdual/internal/seq"
+	"swdual/internal/synth"
+)
+
+// startServer runs an engine.Serve endpoint over db and returns its
+// address plus the serving engine (for direct local comparison).
+func startServer(t *testing.T, db *seq.Set, ecfg engine.Config) (string, *engine.Searcher) {
+	t.Helper()
+	eng, err := engine.New(db, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	go engine.Serve(l, eng)
+	t.Cleanup(func() {
+		l.Close()
+		eng.Close()
+	})
+	return l.Addr().String(), eng
+}
+
+func hitBytes(t *testing.T, results []master.QueryResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, res := range results {
+		binary.Write(&buf, binary.LittleEndian, int64(len(res.Hits)))
+		for _, h := range res.Hits {
+			binary.Write(&buf, binary.LittleEndian, int64(h.SeqIndex))
+			binary.Write(&buf, binary.LittleEndian, int64(h.Score))
+			buf.WriteString(h.SeqID)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestBackendMatchesLocalEngine: one Backend, many concurrent in-flight
+// searches on the one connection, every result byte-identical to the
+// serving engine's own local answer.
+func TestBackendMatchesLocalEngine(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 30, 10, 120, 4001)
+	addr, eng := startServer(t, db, engine.Config{CPUs: 1, GPUs: 1, TopK: 5})
+	b, err := Dial(addr, db.Checksum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if b.Checksum() != eng.Checksum() {
+		t.Fatalf("cached checksum %08x != engine %08x", b.Checksum(), eng.Checksum())
+	}
+	if got, want := len(b.DBLengths()), db.Len(); got != want {
+		t.Fatalf("%d lengths, want %d", got, want)
+	}
+	for i, l := range b.DBLengths() {
+		if l != db.Seqs[i].Len() {
+			t.Fatalf("length %d: %d, want %d", i, l, db.Seqs[i].Len())
+		}
+	}
+	if b.Alphabet() != alphabet.Protein {
+		t.Fatalf("alphabet %v", b.Alphabet().Name())
+	}
+
+	const concurrent = 8
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			queries := synth.RandomSet(alphabet.Protein, 3, 20, 90, int64(4100+i))
+			got, err := b.Search(context.Background(), queries, engine.SearchOptions{})
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			want, err := eng.Search(context.Background(), queries, engine.SearchOptions{})
+			if err != nil {
+				t.Errorf("client %d local: %v", i, err)
+				return
+			}
+			if !bytes.Equal(hitBytes(t, got.Results), hitBytes(t, want.Results)) {
+				t.Errorf("client %d: remote hits differ from local", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := b.Stats(); st.Searches < concurrent {
+		t.Fatalf("server stats report %d searches for %d clients", st.Searches, concurrent)
+	}
+}
+
+// TestBackendTopKOption: the per-request cap crosses the wire.
+func TestBackendTopKOption(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 20, 10, 80, 4201)
+	addr, _ := startServer(t, db, engine.Config{CPUs: 1, GPUs: 0, TopK: 6})
+	b, err := Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	queries := synth.RandomSet(alphabet.Protein, 2, 20, 60, 4202)
+	rep, err := b.Search(context.Background(), queries, engine.SearchOptions{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, r := range rep.Results {
+		if len(r.Hits) != 2 {
+			t.Fatalf("query %d: %d hits, want 2", qi, len(r.Hits))
+		}
+	}
+}
+
+// TestBackendPlanStatsChecksum round-trips the Plan, Stats and Checksum
+// frames against the serving engine's own answers.
+func TestBackendPlanStatsChecksum(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 25, 20, 150, 4301)
+	addr, eng := startServer(t, db, engine.Config{CPUs: 2, GPUs: 1, TopK: 5})
+	b, err := Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	lens := []int{30, 80, 120}
+	got, err := b.Plan(lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Plan(lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || want == nil {
+		t.Fatalf("nil schedule (got %v, want %v)", got, want)
+	}
+	if got.Algorithm != want.Algorithm || got.Makespan != want.Makespan {
+		t.Fatalf("plan %s/%v, want %s/%v", got.Algorithm, got.Makespan, want.Algorithm, want.Makespan)
+	}
+	if len(got.CPULoads) != len(want.CPULoads) || len(got.GPULoads) != len(want.GPULoads) {
+		t.Fatalf("plan loads %d/%d, want %d/%d", len(got.CPULoads), len(got.GPULoads), len(want.CPULoads), len(want.GPULoads))
+	}
+	if got.IdleFraction() != want.IdleFraction() {
+		t.Fatalf("idle fraction %v, want %v", got.IdleFraction(), want.IdleFraction())
+	}
+
+	sum, err := b.ServerChecksum(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != eng.Checksum() {
+		t.Fatalf("live checksum %08x, want %08x", sum, eng.Checksum())
+	}
+
+	st := b.Stats()
+	est := eng.Stats()
+	if st.DBSequences != est.DBSequences || st.DBChecksum != est.DBChecksum ||
+		st.Prepared != est.Prepared || st.WorkersStarted != est.WorkersStarted {
+		t.Fatalf("stats %+v, want %+v", st, est)
+	}
+}
+
+// TestDialRejectsChecksumMismatch: the skew guard fires at dial, on
+// both ends (the server refuses the Hello, the client refuses the
+// Welcome — either way Dial errors).
+func TestDialRejectsChecksumMismatch(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 10, 10, 60, 4401)
+	addr, _ := startServer(t, db, engine.Config{CPUs: 1, GPUs: 0})
+	if _, err := Dial(addr, db.Checksum()+1); err == nil {
+		t.Fatal("checksum mismatch accepted at dial")
+	}
+	// A matching checksum still dials fine afterwards.
+	b, err := Dial(addr, db.Checksum())
+	if err != nil {
+		t.Fatalf("server unhealthy after rejected dial: %v", err)
+	}
+	b.Close()
+}
+
+// TestBackendRejectsForeignAlphabet: queries encoded with a different
+// alphabet than the server database must be refused client-side.
+func TestBackendRejectsForeignAlphabet(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 8, 10, 40, 4501)
+	addr, _ := startServer(t, db, engine.Config{CPUs: 1, GPUs: 0})
+	b, err := Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	dna := seq.NewSet(alphabet.DNA)
+	if err := dna.Add("q", "", []byte("ACGT")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Search(context.Background(), dna, engine.SearchOptions{}); err == nil {
+		t.Fatal("foreign alphabet accepted")
+	}
+}
+
+// TestConcurrentRequestIDsStayDistinct floods one connection with many
+// tiny searches of distinct shapes and checks every response landed on
+// the request that asked for it (the query count is the witness).
+func TestConcurrentRequestIDsStayDistinct(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 12, 10, 60, 4601)
+	addr, _ := startServer(t, db, engine.Config{CPUs: 2, GPUs: 0, TopK: 3})
+	b, err := Dial(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := 1 + i%4
+			queries := synth.RandomSet(alphabet.Protein, n, 15, 40, int64(4700+i))
+			rep, err := b.Search(context.Background(), queries, engine.SearchOptions{})
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			if len(rep.Results) != n {
+				t.Errorf("request %d: %d results, want %d", i, len(rep.Results), n)
+				return
+			}
+			for qi, r := range rep.Results {
+				if r.QueryID != queries.Seqs[qi].ID {
+					t.Errorf("request %d: result %d is %s, want %s (cross-request mixup)", i, qi, r.QueryID, queries.Seqs[qi].ID)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

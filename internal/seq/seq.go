@@ -5,6 +5,7 @@ package seq
 
 import (
 	"fmt"
+	"hash/crc32"
 	"sort"
 
 	"swdual/internal/alphabet"
@@ -63,6 +64,19 @@ func (st *Set) TotalResidues() int64 {
 		t += int64(len(st.Seqs[i].Residues))
 	}
 	return t
+}
+
+// Checksum fingerprints the set: the CRC-32 (IEEE) of every sequence's
+// encoded residues, in order. This is the one database fingerprint the
+// whole module agrees on — the persistent engine, the sharding facade,
+// the cluster runtime and the wire protocol all compare this value to
+// guard against two ends holding different sequences.
+func (st *Set) Checksum() uint32 {
+	crc := crc32.NewIEEE()
+	for i := range st.Seqs {
+		crc.Write(st.Seqs[i].Residues)
+	}
+	return crc.Sum32()
 }
 
 // Stats summarizes a set the way the paper's Table III does.

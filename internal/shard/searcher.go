@@ -2,14 +2,17 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"swdual/internal/alphabet"
 	"swdual/internal/engine"
 	"swdual/internal/master"
+	"swdual/internal/sched"
 	"swdual/internal/seq"
 )
 
@@ -25,18 +28,21 @@ type Config struct {
 	Engine engine.Config
 }
 
-// Searcher is a sharded search service: one engine.Searcher per database
+// Searcher is a sharded search service: one engine.Backend per database
 // shard, a scatter of every Search call to all shards concurrently, and
 // a deterministic gather of per-query hits (score desc, then shard-global
 // SeqIndex asc) that makes results byte-identical to an unsharded engine
-// over the same database.
+// over the same database. A backend is usually an in-process
+// engine.Searcher, but any engine.Backend works — in particular a
+// remote.Backend speaking the wire protocol to a shard server on another
+// machine — and local and remote backends mix freely in one Searcher.
 type Searcher struct {
 	db       *seq.Set
 	strategy Strategy
 	topK     int
 
-	ranges []Range
-	shards []*engine.Searcher
+	ranges   []Range
+	backends []engine.Backend
 
 	dbResidues int64
 	dbLengths  []int
@@ -60,39 +66,96 @@ func New(db *seq.Set, cfg Config) (*Searcher, error) {
 	if cfg.Shards < 1 {
 		cfg.Shards = 1
 	}
-	topK := cfg.Engine.TopK
+	ranges := RangesFor(db, cfg.Shards, cfg.Strategy)
+	backends := make([]engine.Backend, 0, len(ranges))
+	for _, r := range ranges {
+		sh, err := engine.New(db.Slice(r.Lo, r.Hi), cfg.Engine)
+		if err != nil {
+			for _, prev := range backends {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("shard %d [%d,%d): %w", len(backends), r.Lo, r.Hi, err)
+		}
+		backends = append(backends, sh)
+	}
+	s, err := WithBackends(db, cfg.Strategy, ranges, backends, cfg.Engine.TopK)
+	if err != nil {
+		for _, b := range backends {
+			b.Close()
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+// WithBackends assembles a sharded Searcher over pre-built backends, one
+// per contiguous range of db — the transport-agnostic constructor behind
+// New. Backends may be in-process engine.Searchers, remote clients, or
+// any mix; the coordinator still holds the whole database locally, which
+// is what lets it verify every backend: backends[i].Checksum() must
+// equal the checksum of db.Slice(ranges[i]), so a shard server that
+// loaded a different database (skew) is rejected before any query runs.
+// topK is the gather cap and must agree with each backend's own cap
+// (engine.DefaultTopK when zero). On success the Searcher owns the
+// backends and Close closes all of them; on error the caller keeps
+// ownership and must close them itself.
+func WithBackends(db *seq.Set, strategy Strategy, ranges []Range, backends []engine.Backend, topK int) (*Searcher, error) {
+	if db == nil {
+		return nil, fmt.Errorf("shard: nil database")
+	}
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("shard: no backends")
+	}
+	if len(ranges) != len(backends) {
+		return nil, fmt.Errorf("shard: %d ranges for %d backends", len(ranges), len(backends))
+	}
+	at := 0
+	for i, r := range ranges {
+		if r.Lo != at || r.Hi < r.Lo {
+			return nil, fmt.Errorf("shard: range %d is [%d,%d), want a contiguous partition (next index %d)", i, r.Lo, r.Hi, at)
+		}
+		at = r.Hi
+	}
+	if at != db.Len() {
+		return nil, fmt.Errorf("shard: ranges cover [0,%d) of a %d-sequence database", at, db.Len())
+	}
 	if topK <= 0 {
 		topK = engine.DefaultTopK // the gather cap must agree with each shard's cap
 	}
 	s := &Searcher{
 		db:        db,
-		strategy:  cfg.Strategy,
+		strategy:  strategy,
 		topK:      topK,
+		ranges:    ranges,
+		backends:  backends,
 		dbLengths: make([]int, db.Len()),
 	}
-	crc := crc32.NewIEEE()
-	for i := range db.Seqs {
-		s.dbLengths[i] = db.Seqs[i].Len()
-		s.dbResidues += int64(db.Seqs[i].Len())
-		crc.Write(db.Seqs[i].Residues)
-	}
-	s.checksum = crc.Sum32()
-	s.ranges = SplitRanges(s.dbLengths, cfg.Shards, cfg.Strategy)
-	for _, r := range s.ranges {
-		sh, err := engine.New(db.Slice(r.Lo, r.Hi), cfg.Engine)
-		if err != nil {
-			for _, prev := range s.shards {
-				prev.Close()
-			}
-			return nil, fmt.Errorf("shard %d [%d,%d): %w", len(s.shards), r.Lo, r.Hi, err)
+	// One sweep over the residues computes everything the facade needs:
+	// the whole-database fingerprint, each slice's fingerprint for the
+	// skew guard (Checksum() is cached on both engine and remote
+	// backends, so the comparisons are free), and the length statistics.
+	// The ranges are a verified partition, so the sweep covers every
+	// sequence exactly once.
+	crcAll := crc32.NewIEEE()
+	for i, r := range ranges {
+		crcSlice := crc32.NewIEEE()
+		for j := r.Lo; j < r.Hi; j++ {
+			crcSlice.Write(db.Seqs[j].Residues)
+			crcAll.Write(db.Seqs[j].Residues)
+			s.dbLengths[j] = db.Seqs[j].Len()
+			s.dbResidues += int64(db.Seqs[j].Len())
 		}
-		s.shards = append(s.shards, sh)
+		if want := crcSlice.Sum32(); backends[i].Checksum() != want {
+			return nil, fmt.Errorf("shard %d [%d,%d): backend database checksum %08x, want %08x (shard server loaded a different database?)",
+				i, r.Lo, r.Hi, backends[i].Checksum(), want)
+		}
 	}
+	s.checksum = crcAll.Sum32()
 	return s, nil
 }
 
 // Shards returns the number of shards.
-func (s *Searcher) Shards() int { return len(s.shards) }
+func (s *Searcher) Shards() int { return len(s.backends) }
 
 // Ranges returns each shard's [Lo, Hi) database slice.
 func (s *Searcher) Ranges() []Range { return s.ranges }
@@ -102,6 +165,9 @@ func (s *Searcher) Strategy() Strategy { return s.strategy }
 
 // DB returns the whole (unsharded) database.
 func (s *Searcher) DB() *seq.Set { return s.db }
+
+// Alphabet returns the database alphabet.
+func (s *Searcher) Alphabet() *alphabet.Alphabet { return s.db.Alpha }
 
 // DBLengths returns the precomputed whole-database sequence lengths.
 func (s *Searcher) DBLengths() []int { return s.dbLengths }
@@ -123,8 +189,8 @@ func (s *Searcher) Stats() engine.Stats {
 		Searches:    s.searches.Load(),
 		Queries:     s.queries.Load(),
 	}
-	for _, sh := range s.shards {
-		st := sh.Stats()
+	for _, b := range s.backends {
+		st := b.Stats()
 		agg.Prepared += st.Prepared
 		agg.WorkersStarted += st.WorkersStarted
 		agg.Waves += st.Waves
@@ -135,11 +201,29 @@ func (s *Searcher) Stats() engine.Stats {
 
 // PerShardStats reports each shard's own engine counters, in shard order.
 func (s *Searcher) PerShardStats() []engine.Stats {
-	out := make([]engine.Stats, len(s.shards))
-	for i, sh := range s.shards {
-		out[i] = sh.Stats()
+	out := make([]engine.Stats, len(s.backends))
+	for i, b := range s.backends {
+		out[i] = b.Stats()
 	}
 	return out
+}
+
+// Plan models the scatter: every shard plans the same queries over its
+// own slice concurrently, and the gather waits for the slowest shard —
+// so the modeled schedule of a sharded search is the per-shard schedule
+// with the largest makespan.
+func (s *Searcher) Plan(queryLens []int) (*sched.Schedule, error) {
+	var worst *sched.Schedule
+	for i, b := range s.backends {
+		sch, err := b.Plan(queryLens)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if sch != nil && (worst == nil || sch.Makespan > worst.Makespan) {
+			worst = sch
+		}
+	}
+	return worst, nil
 }
 
 // Search scatters the query set to every shard concurrently, waits for
@@ -164,21 +248,51 @@ func (s *Searcher) Search(ctx context.Context, queries *seq.Set, opts engine.Sea
 	s.searches.Add(1)
 	s.queries.Add(uint64(queries.Len()))
 
-	reps := make([]*master.Report, len(s.shards))
-	errs := make([]error, len(s.shards))
+	// The first shard to fail cancels its siblings: a dead shard server
+	// must fail the whole call fast, not after the slowest healthy shard
+	// finishes work whose results will be discarded anyway.
+	scatterCtx, cancelScatter := context.WithCancel(ctx)
+	defer cancelScatter()
+	reps := make([]*master.Report, len(s.backends))
+	errs := make([]error, len(s.backends))
 	var wg sync.WaitGroup
-	for i := range s.shards {
+	for i := range s.backends {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			reps[i], errs[i] = s.shards[i].Search(ctx, queries, engine.SearchOptions{TopK: topK})
+			reps[i], errs[i] = s.backends[i].Search(scatterCtx, queries, engine.SearchOptions{TopK: topK})
+			if errs[i] != nil {
+				cancelScatter()
+			}
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	if err := ctx.Err(); err != nil {
+		return nil, err // the caller's own cancellation wins
+	}
+	var collateral error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		// Context errors here are collateral from cancelScatter (the
+		// caller's ctx was checked above); keep looking for the root
+		// cause. ErrClosed passes through untouched (callers compare
+		// against it); anything else — notably a lost remote connection —
+		// names the failing shard.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if collateral == nil {
+				collateral = err
+			}
+			continue
+		}
+		if errors.Is(err, engine.ErrClosed) {
 			return nil, err
 		}
+		return nil, fmt.Errorf("shard %d [%d,%d): %w", i, s.ranges[i].Lo, s.ranges[i].Hi, err)
+	}
+	if collateral != nil {
+		return nil, collateral
 	}
 	return s.gather(queries, reps, topK, start), nil
 }
@@ -231,13 +345,14 @@ func (s *Searcher) gather(queries *seq.Set, reps []*master.Report, topK int, sta
 	return rep
 }
 
-// Close closes every shard's engine (dispatcher and worker pool). It is
-// idempotent and safe to call concurrently; the first error wins. Search
-// calls after Close fail with engine.ErrClosed.
+// Close closes every shard's backend (in-process dispatchers and worker
+// pools, remote connections). It is idempotent and safe to call
+// concurrently; the first error wins. Search calls after Close fail with
+// engine.ErrClosed.
 func (s *Searcher) Close() error {
 	s.closeOnce.Do(func() {
-		for _, sh := range s.shards {
-			if err := sh.Close(); err != nil && s.closeErr == nil {
+		for _, b := range s.backends {
+			if err := b.Close(); err != nil && s.closeErr == nil {
 				s.closeErr = err
 			}
 		}

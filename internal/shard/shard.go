@@ -6,13 +6,17 @@
 // the same move to scale similarity search past one node — fine-grained
 // parallel search engines partition the bank across workers (Nguyen &
 // Lavenier 2008), and large-scale genomic accelerators partition the
-// data the same way (BioSEAL). Because each shard is a full
-// engine.Searcher behind a narrow interface, pointing a shard at a
-// remote worker later is a transport swap, not a redesign.
+// data the same way (BioSEAL). Because each shard sits behind the
+// narrow engine.Backend interface, a shard is a transport choice, not
+// an architecture: New builds in-process engine.Searchers, while
+// WithBackends accepts any mix of those and internal/remote clients —
+// the same scatter/gather distributed across machines (cluster serve).
 package shard
 
 import (
 	"fmt"
+
+	"swdual/internal/seq"
 )
 
 // Strategy selects how the database is split into shards. Both
@@ -60,6 +64,18 @@ type Range struct {
 
 // Len returns the number of sequences in the range.
 func (r Range) Len() int { return r.Hi - r.Lo }
+
+// RangesFor splits a database into shards ranges — the one split every
+// party to a sharded deployment must compute identically: the in-process
+// facade, a remote coordinator, and each shard server. They all call
+// this, so the boundaries can never drift apart.
+func RangesFor(db *seq.Set, shards int, strategy Strategy) []Range {
+	lengths := make([]int, db.Len())
+	for i := range db.Seqs {
+		lengths[i] = db.Seqs[i].Len()
+	}
+	return SplitRanges(lengths, shards, strategy)
+}
 
 // SplitRanges partitions n = len(lengths) sequences into shards
 // contiguous ranges (shards >= 1; fewer sequences than shards leaves the

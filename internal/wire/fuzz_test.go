@@ -27,6 +27,23 @@ func FuzzUnmarshal(f *testing.F) {
 		Hits: []ResultHit{{SeqIndex: 4, Score: -3, SeqID: "hit"}, {SeqIndex: 0, Score: 120, SeqID: ""}}})
 	seed(&ErrorMsg{Text: "boom"})
 	seed(nil) // Done frame
+	// Multiplexed-dialect frames: request ids, nested result lists,
+	// float slices.
+	seed(&SearchRequest{ID: 7, TopK: 5, Queries: []Query{{ID: "q0", Residues: []byte{0, 1, 2}}, {ID: "", Residues: nil}}})
+	seed(&SearchResult{ID: 7, Results: []Result{
+		{QueryIndex: 0, ElapsedNS: 3, Cells: 12, Hits: []ResultHit{{SeqIndex: 1, Score: 44, SeqID: "s"}}},
+		{QueryIndex: 1},
+	}})
+	seed(&Cancel{ID: 9})
+	seed(&ReqError{ID: 9, Text: "engine: searcher is closed"})
+	seed(&StatsRequest{ID: 2})
+	seed(&StatsResponse{ID: 2, DBSequences: 10, DBResidues: 1234, DBChecksum: 0xfeed, Prepared: 1, WorkersStarted: 2, Searches: 3, Queries: 4, Waves: 5, BatchedWaves: 1})
+	seed(&PlanRequest{ID: 3, QueryLens: []uint32{30, 80, 120}})
+	seed(&PlanResponse{ID: 3, Algorithm: "dual-approx", Makespan: 1.5, CPULoads: []float64{1.5, 1.25}, GPULoads: []float64{math.NaN()}})
+	seed(&ChecksumRequest{ID: 4})
+	seed(&ChecksumResponse{ID: 4, Checksum: 0xdeadbeef})
+	seed(&InfoRequest{ID: 5})
+	seed(&Info{ID: 5, Alphabet: "protein", Checksum: 0xbeef, Lengths: []uint32{10, 0, 300}})
 	// Malformed seeds: truncated fields, lying length prefixes, huge hit
 	// counts, unknown type codes.
 	f.Add(TypeHello, []byte{1})
@@ -36,6 +53,19 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add(TypeError, []byte{0xff, 0xff, 'x'})
 	f.Add(byte(0), []byte{})
 	f.Add(byte(200), []byte("garbage"))
+	// Malformed multiplexed frames: truncated ids, lying query/result
+	// counts (must error before allocating), huge float-slice counts,
+	// a result list whose inner hit count lies.
+	f.Add(TypeSearchRequest, []byte{1, 2, 3})
+	f.Add(TypeSearchRequest, append(make([]byte, 16), 0xff, 0xff, 0xff, 0x7f))
+	f.Add(TypeSearchResult, append(make([]byte, 8), 0xff, 0xff, 0xff, 0x7f))
+	f.Add(TypeSearchResult, append(make([]byte, 12), 0xff, 0xff, 0xff, 0x7f, 1, 2, 3))
+	f.Add(TypeCancel, []byte{1, 2})
+	f.Add(TypeReqError, append(make([]byte, 8), 0xff, 0xff, 'x'))
+	f.Add(TypeStatsResponse, make([]byte, 10))
+	f.Add(TypePlanRequest, append(make([]byte, 8), 0xff, 0xff, 0xff, 0xff))
+	f.Add(TypePlanResponse, append(make([]byte, 10), 0xff, 0xff, 0xff, 0x7f))
+	f.Add(TypeInfo, append(make([]byte, 8), 0, 0, 0xde, 0xad, 0xbe, 0xef, 0xff, 0xff, 0xff, 0xff))
 
 	f.Fuzz(func(t *testing.T, typ byte, payload []byte) {
 		msg, err := Unmarshal(typ, payload) // must never panic

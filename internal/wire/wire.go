@@ -23,7 +23,10 @@ const (
 	MaxFrame = 64 << 20
 )
 
-// Message type codes.
+// Message type codes. The first block is the original master-worker
+// protocol (one request per connection); the second block is the
+// multiplexed serve protocol, where every frame carries a request id so
+// any number of calls can be in flight on one connection.
 const (
 	TypeHello byte = iota + 1
 	TypeWelcome
@@ -31,6 +34,19 @@ const (
 	TypeResult
 	TypeDone
 	TypeError
+
+	TypeSearchRequest
+	TypeSearchResult
+	TypeCancel
+	TypeReqError
+	TypeStatsRequest
+	TypeStatsResponse
+	TypePlanRequest
+	TypePlanResponse
+	TypeChecksumRequest
+	TypeChecksumResponse
+	TypeInfoRequest
+	TypeInfo
 )
 
 // Hello registers a worker with the master.
@@ -75,6 +91,113 @@ type Result struct {
 // ErrorMsg reports a fatal condition to the peer.
 type ErrorMsg struct {
 	Text string
+}
+
+// Multiplexed serve protocol. After the Hello/Welcome handshake a client
+// may switch from the one-request-per-connection stream to request-id
+// framing: every message below carries the client-chosen ID, responses
+// echo it, and any number of requests may be in flight concurrently on
+// one connection.
+
+// Query is one query sequence inside a SearchRequest. Residues are
+// encoded in the server database's alphabet; query order within the
+// request defines the result order.
+type Query struct {
+	ID       string
+	Residues []byte
+}
+
+// SearchRequest submits one batch of queries as request ID.
+type SearchRequest struct {
+	ID      uint64
+	TopK    uint32 // hits per query; 0 selects the server's cap
+	Queries []Query
+}
+
+// SearchResult answers one SearchRequest: one Result per query, in
+// request order.
+type SearchResult struct {
+	ID      uint64
+	Results []Result
+}
+
+// Cancel asks the server to abandon an in-flight request. The server
+// still answers the request — with a ReqError naming the cancellation —
+// so ids retire deterministically.
+type Cancel struct {
+	ID uint64
+}
+
+// ReqError fails one request without poisoning the connection.
+type ReqError struct {
+	ID   uint64
+	Text string
+}
+
+// StatsRequest asks for the server's engine counters.
+type StatsRequest struct {
+	ID uint64
+}
+
+// StatsResponse mirrors engine.Stats over the wire.
+type StatsResponse struct {
+	ID             uint64
+	DBSequences    uint32
+	DBResidues     uint64
+	DBChecksum     uint32
+	Prepared       uint32
+	WorkersStarted uint32
+	Searches       uint64
+	Queries        uint64
+	Waves          uint64
+	BatchedWaves   uint64
+}
+
+// PlanRequest asks the server to run its scheduling policy over
+// hypothetical queries of the given lengths (no search runs).
+type PlanRequest struct {
+	ID        uint64
+	QueryLens []uint32
+}
+
+// PlanResponse summarizes the modeled schedule: the algorithm, its
+// makespan, and the per-PE loads (placements stay server-side). A
+// dynamic policy that produces no static schedule returns all-zero
+// fields with an empty Algorithm.
+type PlanResponse struct {
+	ID        uint64
+	Algorithm string
+	Makespan  float64
+	CPULoads  []float64
+	GPULoads  []float64
+}
+
+// ChecksumRequest asks for the server database's fingerprint.
+type ChecksumRequest struct {
+	ID uint64
+}
+
+// ChecksumResponse carries the database checksum (seq.Set.Checksum).
+type ChecksumResponse struct {
+	ID       uint64
+	Checksum uint32
+}
+
+// InfoRequest asks for the database description a remote backend needs
+// to stand in for a local engine.
+type InfoRequest struct {
+	ID uint64
+}
+
+// Info describes the server's database: the alphabet name (queries must
+// be encoded with the same alphabet), the checksum, and every sequence
+// length in database order (what the scheduler's instance builder and
+// the planner consume).
+type Info struct {
+	ID       uint64
+	Alphabet string
+	Checksum uint32
+	Lengths  []uint32
 }
 
 // Conn frames messages over a net.Conn.
@@ -152,24 +275,134 @@ func Marshal(msg any) (byte, []byte, error) {
 		e.bytes(m.Residues)
 		return TypeTask, e.buf, nil
 	case *Result:
-		e.u32(m.QueryIndex)
-		e.u64(m.ElapsedNS)
-		e.f64(m.SimSeconds)
-		e.u64(m.Cells)
-		e.u32(uint32(len(m.Hits)))
-		for _, h := range m.Hits {
-			e.u32(h.SeqIndex)
-			e.u32(uint32(h.Score))
-			e.str(h.SeqID)
-		}
+		encodeResult(&e, m)
 		return TypeResult, e.buf, nil
 	case *ErrorMsg:
 		e.str(m.Text)
 		return TypeError, e.buf, nil
+	case *SearchRequest:
+		e.u64(m.ID)
+		e.u32(m.TopK)
+		e.u32(uint32(len(m.Queries)))
+		for _, q := range m.Queries {
+			e.str(q.ID)
+			e.bytes(q.Residues)
+		}
+		return TypeSearchRequest, e.buf, nil
+	case *SearchResult:
+		e.u64(m.ID)
+		e.u32(uint32(len(m.Results)))
+		for i := range m.Results {
+			encodeResult(&e, &m.Results[i])
+		}
+		return TypeSearchResult, e.buf, nil
+	case *Cancel:
+		e.u64(m.ID)
+		return TypeCancel, e.buf, nil
+	case *ReqError:
+		e.u64(m.ID)
+		e.str(m.Text)
+		return TypeReqError, e.buf, nil
+	case *StatsRequest:
+		e.u64(m.ID)
+		return TypeStatsRequest, e.buf, nil
+	case *StatsResponse:
+		e.u64(m.ID)
+		e.u32(m.DBSequences)
+		e.u64(m.DBResidues)
+		e.u32(m.DBChecksum)
+		e.u32(m.Prepared)
+		e.u32(m.WorkersStarted)
+		e.u64(m.Searches)
+		e.u64(m.Queries)
+		e.u64(m.Waves)
+		e.u64(m.BatchedWaves)
+		return TypeStatsResponse, e.buf, nil
+	case *PlanRequest:
+		e.u64(m.ID)
+		e.u32(uint32(len(m.QueryLens)))
+		for _, l := range m.QueryLens {
+			e.u32(l)
+		}
+		return TypePlanRequest, e.buf, nil
+	case *PlanResponse:
+		e.u64(m.ID)
+		e.str(m.Algorithm)
+		e.f64(m.Makespan)
+		e.u32(uint32(len(m.CPULoads)))
+		for _, l := range m.CPULoads {
+			e.f64(l)
+		}
+		e.u32(uint32(len(m.GPULoads)))
+		for _, l := range m.GPULoads {
+			e.f64(l)
+		}
+		return TypePlanResponse, e.buf, nil
+	case *ChecksumRequest:
+		e.u64(m.ID)
+		return TypeChecksumRequest, e.buf, nil
+	case *ChecksumResponse:
+		e.u64(m.ID)
+		e.u32(m.Checksum)
+		return TypeChecksumResponse, e.buf, nil
+	case *InfoRequest:
+		e.u64(m.ID)
+		return TypeInfoRequest, e.buf, nil
+	case *Info:
+		e.u64(m.ID)
+		e.str(m.Alphabet)
+		e.u32(m.Checksum)
+		e.u32(uint32(len(m.Lengths)))
+		for _, l := range m.Lengths {
+			e.u32(l)
+		}
+		return TypeInfo, e.buf, nil
 	case Done, nil:
 		return TypeDone, nil, nil
 	}
 	return 0, nil, fmt.Errorf("wire: cannot marshal %T", msg)
+}
+
+// encodeResult appends the Result body shared by TypeResult frames and
+// the per-query entries inside a SearchResult.
+func encodeResult(e *encoder, m *Result) {
+	e.u32(m.QueryIndex)
+	e.u64(m.ElapsedNS)
+	e.f64(m.SimSeconds)
+	e.u64(m.Cells)
+	e.u32(uint32(len(m.Hits)))
+	for _, h := range m.Hits {
+		e.u32(h.SeqIndex)
+		e.u32(uint32(h.Score))
+		e.str(h.SeqID)
+	}
+}
+
+// decodeResult consumes one Result body; the latched decoder error plus
+// the explicit count check keep a lying hit count from allocating.
+func decodeResult(d *decoder) (Result, error) {
+	var m Result
+	m.QueryIndex = d.u32()
+	m.ElapsedNS = d.u64()
+	m.SimSeconds = d.f64()
+	m.Cells = d.u64()
+	n := d.u32()
+	if d.err != nil {
+		return m, d.err
+	}
+	if int(n) > len(d.buf) { // each hit needs >= 1 byte
+		d.err = fmt.Errorf("wire: hit count %d exceeds payload", n)
+		return m, d.err
+	}
+	m.Hits = make([]ResultHit, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		var h ResultHit
+		h.SeqIndex = d.u32()
+		h.Score = int32(d.u32())
+		h.SeqID = d.str()
+		m.Hits = append(m.Hits, h)
+	}
+	return m, d.err
 }
 
 // Done is the sentinel value Recv returns for TypeDone frames.
@@ -200,32 +433,113 @@ func Unmarshal(typ byte, payload []byte) (any, error) {
 		m.Residues = d.bytes()
 		return m, d.err
 	case TypeResult:
-		m := &Result{}
-		m.QueryIndex = d.u32()
-		m.ElapsedNS = d.u64()
-		m.SimSeconds = d.f64()
-		m.Cells = d.u64()
-		n := d.u32()
-		if d.err != nil {
-			return nil, d.err
+		m, err := decodeResult(&d)
+		if err != nil {
+			return nil, err
 		}
-		if int(n) > len(d.buf) { // each hit needs >= 1 byte
-			return nil, fmt.Errorf("wire: hit count %d exceeds payload", n)
-		}
-		m.Hits = make([]ResultHit, 0, n)
-		for i := uint32(0); i < n && d.err == nil; i++ {
-			var h ResultHit
-			h.SeqIndex = d.u32()
-			h.Score = int32(d.u32())
-			h.SeqID = d.str()
-			m.Hits = append(m.Hits, h)
-		}
-		return m, d.err
+		return &m, nil
 	case TypeDone:
 		return Done{}, nil
 	case TypeError:
 		m := &ErrorMsg{}
 		m.Text = d.str()
+		return m, d.err
+	case TypeSearchRequest:
+		m := &SearchRequest{}
+		m.ID = d.u64()
+		m.TopK = d.u32()
+		n := d.u32()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if int(n) > len(d.buf) { // each query needs >= 1 byte
+			return nil, fmt.Errorf("wire: query count %d exceeds payload", n)
+		}
+		m.Queries = make([]Query, 0, n)
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			var q Query
+			q.ID = d.str()
+			q.Residues = d.bytes()
+			m.Queries = append(m.Queries, q)
+		}
+		return m, d.err
+	case TypeSearchResult:
+		m := &SearchResult{}
+		m.ID = d.u64()
+		n := d.u32()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if int(n) > len(d.buf) { // each result needs >= 1 byte
+			return nil, fmt.Errorf("wire: result count %d exceeds payload", n)
+		}
+		m.Results = make([]Result, 0, n)
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			r, err := decodeResult(&d)
+			if err != nil {
+				return nil, err
+			}
+			m.Results = append(m.Results, r)
+		}
+		return m, d.err
+	case TypeCancel:
+		m := &Cancel{}
+		m.ID = d.u64()
+		return m, d.err
+	case TypeReqError:
+		m := &ReqError{}
+		m.ID = d.u64()
+		m.Text = d.str()
+		return m, d.err
+	case TypeStatsRequest:
+		m := &StatsRequest{}
+		m.ID = d.u64()
+		return m, d.err
+	case TypeStatsResponse:
+		m := &StatsResponse{}
+		m.ID = d.u64()
+		m.DBSequences = d.u32()
+		m.DBResidues = d.u64()
+		m.DBChecksum = d.u32()
+		m.Prepared = d.u32()
+		m.WorkersStarted = d.u32()
+		m.Searches = d.u64()
+		m.Queries = d.u64()
+		m.Waves = d.u64()
+		m.BatchedWaves = d.u64()
+		return m, d.err
+	case TypePlanRequest:
+		m := &PlanRequest{}
+		m.ID = d.u64()
+		m.QueryLens = d.u32s()
+		return m, d.err
+	case TypePlanResponse:
+		m := &PlanResponse{}
+		m.ID = d.u64()
+		m.Algorithm = d.str()
+		m.Makespan = d.f64()
+		m.CPULoads = d.f64s()
+		m.GPULoads = d.f64s()
+		return m, d.err
+	case TypeChecksumRequest:
+		m := &ChecksumRequest{}
+		m.ID = d.u64()
+		return m, d.err
+	case TypeChecksumResponse:
+		m := &ChecksumResponse{}
+		m.ID = d.u64()
+		m.Checksum = d.u32()
+		return m, d.err
+	case TypeInfoRequest:
+		m := &InfoRequest{}
+		m.ID = d.u64()
+		return m, d.err
+	case TypeInfo:
+		m := &Info{}
+		m.ID = d.u64()
+		m.Alphabet = d.str()
+		m.Checksum = d.u32()
+		m.Lengths = d.u32s()
 		return m, d.err
 	}
 	return nil, fmt.Errorf("wire: unknown message type %d", typ)
@@ -310,6 +624,37 @@ func (d *decoder) str() string {
 	s := string(d.buf[:n])
 	d.buf = d.buf[n:]
 	return s
+}
+
+// u32s decodes a count-prefixed []uint32, validating the count against
+// the remaining payload before allocating (division, not
+// multiplication — 4*n would wrap on 32-bit platforms and let a lying
+// count through to makeslice).
+func (d *decoder) u32s() []uint32 {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || len(d.buf)/4 < n {
+		d.fail()
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = d.u32()
+	}
+	return out
+}
+
+// f64s decodes a count-prefixed []float64 with the same guard.
+func (d *decoder) f64s() []float64 {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || len(d.buf)/8 < n {
+		d.fail()
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
 }
 
 func (d *decoder) bytes() []byte {

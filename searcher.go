@@ -2,10 +2,12 @@ package swdual
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"time"
 
 	"swdual/internal/engine"
+	"swdual/internal/remote"
 	"swdual/internal/shard"
 )
 
@@ -24,23 +26,15 @@ import (
 // With Options.Shards > 1 the database is partitioned across that many
 // independent per-shard engines; Search scatters to all of them and
 // gathers the per-query hits through a deterministic TopK merge, so the
-// results stay byte-identical to the unsharded engine.
+// results stay byte-identical to the unsharded engine. With
+// Options.RemoteShards the same scatter/gather runs over the network:
+// every shard is a serve process (see ServeShard) and this process is
+// the coordinator.
 type Searcher struct {
-	inner  backend
+	inner  engine.Backend
 	db     *Database
 	opt    Options
 	shards int
-}
-
-// backend is what the public Searcher needs from its engine: the
-// unsharded engine.Searcher and the sharded scatter/gather facade both
-// satisfy it, so every public method — Search, Plan, Serve, Stats,
-// Checksum, Close — spans shards transparently.
-type backend interface {
-	engine.Backend
-	DBLengths() []int
-	Stats() engine.Stats
-	Close() error
 }
 
 // SearchOptions tunes one Searcher.Search call.
@@ -86,15 +80,22 @@ func newSearcher(db *Database, opt Options, batchWindow int) (*Searcher, error) 
 	if err != nil {
 		return nil, err
 	}
-	var inner backend
+	var inner engine.Backend
 	shards := 1
-	if opt.Shards > 1 {
+	switch {
+	case len(opt.RemoteShards) > 0:
+		sh, err := dialRemoteShards(db, opt.RemoteShards, strategy, cfg.TopK)
+		if err != nil {
+			return nil, err
+		}
+		inner, shards = sh, sh.Shards()
+	case opt.Shards > 1:
 		sh, err := shard.New(db.set, shard.Config{Shards: opt.Shards, Strategy: strategy, Engine: cfg})
 		if err != nil {
 			return nil, err
 		}
 		inner, shards = sh, sh.Shards()
-	} else {
+	default:
 		eng, err := engine.New(db.set, cfg)
 		if err != nil {
 			return nil, err
@@ -102,6 +103,77 @@ func newSearcher(db *Database, opt Options, batchWindow int) (*Searcher, error) 
 		inner = eng
 	}
 	return &Searcher{inner: inner, db: db, opt: opt, shards: shards}, nil
+}
+
+// dialRemoteShards assembles the coordinator side of a cluster serve:
+// split the local database the same way the shard servers did, dial each
+// address with the expected slice checksum (the skew guard), and wrap
+// the connections in the scatter/gather facade.
+func dialRemoteShards(db *Database, addrs []string, strategy shard.Strategy, topK int) (*shard.Searcher, error) {
+	ranges := shard.RangesFor(db.set, len(addrs), strategy)
+	backends := make([]engine.Backend, 0, len(addrs))
+	fail := func(err error) (*shard.Searcher, error) {
+		for _, b := range backends {
+			b.Close()
+		}
+		return nil, err
+	}
+	for i, addr := range addrs {
+		want := db.set.Slice(ranges[i].Lo, ranges[i].Hi).Checksum()
+		b, err := remote.Dial(addr, want)
+		if err != nil {
+			return fail(fmt.Errorf("swdual: shard %d [%d,%d): %w", i, ranges[i].Lo, ranges[i].Hi, err))
+		}
+		backends = append(backends, b)
+	}
+	sh, err := shard.WithBackends(db.set, strategy, ranges, backends, topK)
+	if err != nil {
+		return fail(err)
+	}
+	return sh, nil
+}
+
+// ServeShard serves one shard of db on l for a remote-sharded
+// coordinator: the database is split into count ranges with
+// opt.ShardSplit (the coordinator must use the same strategy and count)
+// and slice index gets its own persistent engine, exposed over the wire
+// protocol until the listener closes. A coordinator built with
+// Options.RemoteShards verifies the slice checksum at dial, so serving
+// the wrong index, count, strategy or database fails fast instead of
+// corrupting merged results.
+func ServeShard(l net.Listener, db *Database, index, count int, opt Options) error {
+	if db == nil {
+		return errNilSets
+	}
+	if count < 1 || index < 0 || index >= count {
+		return fmt.Errorf("swdual: shard index %d of %d out of range", index, count)
+	}
+	params, err := opt.params()
+	if err != nil {
+		return err
+	}
+	policy, err := opt.policy()
+	if err != nil {
+		return err
+	}
+	strategy, err := shard.ParseStrategy(opt.ShardSplit)
+	if err != nil {
+		return err
+	}
+	r := shard.RangesFor(db.set, count, strategy)[index]
+	cpus, gpus := opt.workers()
+	eng, err := engine.New(db.set.Slice(r.Lo, r.Hi), engine.Config{
+		Params: params,
+		CPUs:   cpus,
+		GPUs:   gpus,
+		TopK:   opt.TopK,
+		Policy: policy,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	return engine.Serve(l, eng)
 }
 
 // Search compares every query against the database and returns merged,

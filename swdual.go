@@ -63,6 +63,16 @@ type Options struct {
 	// ShardSplit selects the shard boundaries: "contiguous" (default,
 	// equal sequence counts) or "balanced" (equal residue volume).
 	ShardSplit string
+	// RemoteShards backs each shard with a serve process instead of an
+	// in-process engine: the database is split into len(RemoteShards)
+	// ranges with ShardSplit, and the i'th address must run ServeShard
+	// (or `swdual -shard-serve`) for slice i of the same database —
+	// verified by checksum at dial, so a server holding different
+	// sequences is rejected before any query runs. Searches scatter over
+	// the network and gather exactly like in-process sharding, so hits
+	// stay byte-identical to an unsharded search. When set, Shards is
+	// ignored.
+	RemoteShards []string
 }
 
 func (o Options) params() (sw.Params, error) {

@@ -404,6 +404,93 @@ func TestShardedSearcherMatchesUnsharded(t *testing.T) {
 	}
 }
 
+// TestRemoteShardedSearcherMatchesUnsharded is the public cluster-serve
+// acceptance test: two ServeShard processes (played by goroutines) plus
+// a coordinator built with Options.RemoteShards must return hits
+// byte-identical to a single-process unsharded search of the same
+// database, and a coordinator pointed at a skewed database must be
+// refused at construction.
+func TestRemoteShardedSearcherMatchesUnsharded(t *testing.T) {
+	const shardCount = 2
+	db, err := swdual.GenerateDatabase("UniProt", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := swdual.GenerateQueries("standard", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := swdual.Options{CPUs: 1, GPUs: 1, TopK: 5, ShardSplit: "balanced"}
+	want, err := swdual.Search(db, queries, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := make([]string, shardCount)
+	serveDone := make(chan error, shardCount)
+	for i := 0; i < shardCount; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		addrs[i] = l.Addr().String()
+		go func(i int, l net.Listener) {
+			serveDone <- swdual.ServeShard(l, db, i, shardCount, opt)
+		}(i, l)
+	}
+
+	coordOpt := opt
+	coordOpt.RemoteShards = addrs
+	s, err := swdual.NewSearcher(db, coordOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != shardCount {
+		t.Fatalf("%d shards, want %d", s.Shards(), shardCount)
+	}
+	got, err := s.Search(context.Background(), queries, swdual.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range got.Results {
+		a, b := got.Results[qi].Hits, want.Results[qi].Hits
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d hits vs %d", qi, len(a), len(b))
+		}
+		for hi := range a {
+			if a[hi] != b[hi] {
+				t.Fatalf("query %d hit %d: %+v vs %+v", qi, hi, a[hi], b[hi])
+			}
+		}
+	}
+	if st := s.Stats(); st.Prepared != shardCount {
+		t.Fatalf("%d preparation passes, want one per shard server", st.Prepared)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A coordinator whose local database differs from the servers' must
+	// be rejected by the checksum skew guard before any search.
+	skewed, err := swdual.GenerateDatabase("Ensembl Dog Proteins", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := swdual.NewSearcher(skewed, coordOpt); err == nil {
+		t.Fatal("skewed coordinator database accepted")
+	}
+
+	// ServeShard validates its slice coordinates before touching the
+	// listener.
+	if err := swdual.ServeShard(nil, db, 2, 2, opt); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+	if err := swdual.ServeShard(nil, nil, 0, 2, opt); err == nil {
+		t.Fatal("nil database accepted")
+	}
+}
+
 func TestGenerateErrors(t *testing.T) {
 	if _, err := swdual.GenerateDatabase("NotADatabase", 1); err == nil {
 		t.Fatal("expected error for unknown preset")
