@@ -153,6 +153,38 @@ func BenchmarkRemoteShardedSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkMixedPoolSearch compares homogeneous worker pools against
+// heterogeneous pool specs mixing the inter-sequence, striped,
+// fine-grained and GPU backends. Hits are byte-identical across specs
+// (the equivalence suite proves it); the delta is pure throughput, and
+// repeated iterations let the rate estimator steer each wave's schedule
+// with the rates measured on the previous one.
+func BenchmarkMixedPoolSearch(b *testing.B) {
+	db, queries := benchSearchData(b)
+	for _, spec := range []string{
+		"cpu=4",
+		"striped=4",
+		"cpu=2,gpu=2",
+		"cpu=1,striped=1,fine=1,gpu=1",
+		"striped=2,gpu=2",
+	} {
+		b.Run("pool="+spec, func(b *testing.B) {
+			s, err := swdual.NewSearcher(db, swdual.Options{Pool: spec, TopK: 5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Search(ctx, queries, swdual.SearchOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func benchSearchData(b *testing.B) (db, queries *swdual.Database) {
 	b.Helper()
 	db, err := swdual.GenerateDatabase("UniProt", 20000)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	swdual -db db.fasta -query q.fasta -cpus 2 -gpus 2
+//	swdual -db db.fasta -query q.fasta -pool cpu=2,striped=1,fine=1,gpu=1
 //	swdual -db db.swdb -query q.fasta -policy self-scheduling -topk 5
 //	swdual -db db.fasta -query q.fasta -plan        # schedule only
 //	swdual -db db.fasta -serve :4015                # persistent engine
@@ -44,6 +45,7 @@ func main() {
 		qPath    = flag.String("query", "", "query file (.fasta/.fa or .swdb binary)")
 		cpus     = flag.Int("cpus", 1, "CPU workers")
 		gpus     = flag.Int("gpus", 1, "GPU workers (simulated Tesla C2050)")
+		pool     = flag.String("pool", "", "heterogeneous worker pool spec, e.g. cpu=2,striped=1,fine=1,gpu=1 (overrides -cpus/-gpus)")
 		topk     = flag.Int("topk", 10, "hits reported per query")
 		matrix   = flag.String("matrix", "BLOSUM62", "substitution matrix")
 		gapS     = flag.Int("gapstart", 10, "gap start penalty Gs")
@@ -69,6 +71,7 @@ func main() {
 		GapExtend:  *gapE,
 		CPUs:       *cpus,
 		GPUs:       *gpus,
+		Pool:       *pool,
 		TopK:       *topk,
 		Policy:     *policy,
 		Shards:     *shards,
@@ -106,13 +109,18 @@ func main() {
 		log.Fatalf("loading database: %v", err)
 	}
 
+	workersDesc := fmt.Sprintf("%d CPU + %d GPU workers", *cpus, *gpus)
+	if *pool != "" {
+		workersDesc = fmt.Sprintf("worker pool %s", *pool)
+	}
+
 	if *shardServe != "" {
 		l, err := net.Listen("tcp", *shardServe)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("serving shard %d/%d of %d sequences (split %s) on %s with %d CPU + %d GPU workers",
-			*shardIndex, *shardCount, db.Len(), *split, l.Addr(), *cpus, *gpus)
+		log.Printf("serving shard %d/%d of %d sequences (split %s) on %s with %s",
+			*shardIndex, *shardCount, db.Len(), *split, l.Addr(), workersDesc)
 		if err := swdual.ServeShard(l, db, *shardIndex, *shardCount, opt); err != nil {
 			log.Fatal(err)
 		}
@@ -129,8 +137,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("serving %d sequences (%d residues, checksum %08x) on %s with %d CPU + %d GPU workers per shard across %d shard(s)",
-			db.Len(), db.TotalResidues(), s.Checksum(), l.Addr(), *cpus, *gpus, s.Shards())
+		log.Printf("serving %d sequences (%d residues, checksum %08x) on %s with %s per shard across %d shard(s)",
+			db.Len(), db.TotalResidues(), s.Checksum(), l.Addr(), workersDesc, s.Shards())
 		if err := s.Serve(l); err != nil {
 			log.Fatal(err)
 		}

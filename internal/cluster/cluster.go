@@ -356,11 +356,14 @@ func RunWorker(nc net.Conn, db *seq.Set, w master.Worker, cfg WorkerConfig) erro
 	if w.Kind() == sched.GPU {
 		kind = 1
 	}
+	// Register with the live measured rate (identical to the advertised
+	// rate on a fresh worker), so a worker reused across sessions hands
+	// the master its observed throughput, not the original constant.
 	err := conn.Send(&wire.Hello{
 		Version:    wire.Version,
 		Name:       name,
 		Kind:       kind,
-		RateGCUPS:  w.RateGCUPS(),
+		RateGCUPS:  w.MeasuredRateGCUPS(),
 		DBChecksum: DBChecksum(db),
 	})
 	if err != nil {
@@ -389,6 +392,9 @@ func RunWorker(nc net.Conn, db *seq.Set, w master.Worker, cfg WorkerConfig) erro
 		case *wire.Task:
 			q := seq.Sequence{ID: m.QueryID, Residues: m.Residues}
 			res := w.Run(int(m.QueryIndex), &q, db)
+			// Keep the estimate live off-pool too: the next session's
+			// Hello registers with the measured rate observed here.
+			w.ObserveTask(res.Cells, res.ObservedDuration())
 			out := &wire.Result{
 				QueryIndex: m.QueryIndex,
 				ElapsedNS:  uint64(res.Elapsed.Nanoseconds()),

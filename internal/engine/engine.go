@@ -41,8 +41,13 @@ type Config struct {
 	// Params are the alignment parameters shared by all workers.
 	Params sw.Params
 	// CPUs and GPUs size the worker pools (defaults 1 and 1). Ignored
-	// when Workers is set.
+	// when Workers or Pool is set.
 	CPUs, GPUs int
+	// Pool, when it names at least one worker, selects a heterogeneous
+	// worker set mixing CPU backends (inter-sequence, striped,
+	// fine-grained) and GPUs — see master.PoolSpec. It overrides CPUs
+	// and GPUs; Workers still wins over both.
+	Pool master.PoolSpec
 	// Workers overrides the built-in worker construction.
 	Workers []master.Worker
 	// TopK bounds hits kept per query (default 10). Per-request TopK may
@@ -67,7 +72,7 @@ func (c *Config) defaults() {
 	if c.Params.Matrix == nil {
 		c.Params = sw.DefaultParams()
 	}
-	if c.Workers == nil && c.CPUs == 0 && c.GPUs == 0 {
+	if c.Workers == nil && c.Pool.Total() == 0 && c.CPUs == 0 && c.GPUs == 0 {
 		c.CPUs, c.GPUs = 1, 1
 	}
 	if c.TopK <= 0 {
@@ -100,6 +105,22 @@ type Stats struct {
 	Queries        uint64
 	Waves          uint64
 	BatchedWaves   uint64 // waves that coalesced more than one request
+	// Workers snapshots each worker's advertised vs observed throughput
+	// at the moment Stats was called — the rates the next scheduling
+	// wave will be planned with. On a sharded Searcher the names are
+	// shard-prefixed (shard0/cpu-0); over a remote backend they cross
+	// the wire in the Stats frame, so cluster operators see the real
+	// cluster throughput, not the advertised constants.
+	Workers []WorkerRate
+}
+
+// WorkerRate is one worker's throughput snapshot inside Stats.
+type WorkerRate struct {
+	Name            string
+	Kind            sched.Kind // scheduling pool (CPU or GPU)
+	AdvertisedGCUPS float64    // the static rate the worker registered with
+	ObservedGCUPS   float64    // live EWMA over measured task rates (== advertised until Tasks > 0)
+	Tasks           uint64     // completed tasks folded into the estimate
 }
 
 // ErrClosed is returned by Search after Close.
@@ -162,7 +183,11 @@ func New(db *seq.Set, cfg Config) (*Searcher, error) {
 	s.prepare()
 	workers := cfg.Workers
 	if workers == nil {
-		workers = master.BuildWorkers(cfg.Params, cfg.CPUs, cfg.GPUs, cfg.TopK)
+		if cfg.Pool.Total() > 0 {
+			workers = master.BuildPoolWorkers(cfg.Params, cfg.Pool, cfg.TopK)
+		} else {
+			workers = master.BuildWorkers(cfg.Params, cfg.CPUs, cfg.GPUs, cfg.TopK)
+		}
 	}
 	pool, err := master.NewPool(workers, master.PoolConfig{Parallelism: cfg.Parallelism})
 	if err != nil {
@@ -204,7 +229,7 @@ func (s *Searcher) DBLengths() []int { return s.dbLengths }
 
 // Plan runs only the Searcher's scheduling policy over hypothetical
 // queries of the given lengths, against the prepared database statistics
-// and the live pool's advertised rates — no search runs. A dynamic
+// and the pool's live measured rates — no search runs. A dynamic
 // policy (self-scheduling) produces no static schedule and returns
 // (nil, nil); serve mode answers Plan frames with this.
 func (s *Searcher) Plan(queryLens []int) (*sched.Schedule, error) {
@@ -227,8 +252,20 @@ func (s *Searcher) Plan(queryLens []int) (*sched.Schedule, error) {
 // Checksum fingerprints the loaded database (CRC-32 of all residues).
 func (s *Searcher) Checksum() uint32 { return s.checksum }
 
-// Stats reports the Searcher's cumulative counters.
+// Stats reports the Searcher's cumulative counters and a live snapshot
+// of every worker's observed throughput.
 func (s *Searcher) Stats() Stats {
+	workers := s.pool.Workers()
+	rates := make([]WorkerRate, len(workers))
+	for i, w := range workers {
+		rates[i] = WorkerRate{
+			Name:            w.Name(),
+			Kind:            w.Kind(),
+			AdvertisedGCUPS: w.RateGCUPS(),
+			ObservedGCUPS:   w.MeasuredRateGCUPS(),
+			Tasks:           w.ObservedTasks(),
+		}
+	}
 	return Stats{
 		DBSequences:    s.db.Len(),
 		DBResidues:     s.dbResidues,
@@ -239,6 +276,7 @@ func (s *Searcher) Stats() Stats {
 		Queries:        s.queries.Load(),
 		Waves:          s.waves.Load(),
 		BatchedWaves:   s.batchedWaves.Load(),
+		Workers:        rates,
 	}
 }
 
@@ -439,6 +477,10 @@ func (s *Searcher) runWave(batch []*request) {
 		}
 		go feed(all, s.pool.SubmitShared)
 	} else {
+		// Snapshot the pool's measured rates at wave start: every wave
+		// is scheduled with the throughput the workers actually
+		// delivered so far, and tasks completing in this wave refine
+		// the rates the next wave sees.
 		in := master.BuildInstance(s.dbResidues, lens, ids, s.pool.Rates())
 		queues, schedule, err := master.Assign(s.cfg.Policy, in, workers)
 		if err != nil {

@@ -149,6 +149,7 @@ func TestConcurrentCallers(t *testing.T) {
 // gateWorker blocks in Run until released, letting tests hold a wave
 // open deterministically instead of racing wall-clock sleeps.
 type gateWorker struct {
+	*master.RateEstimator
 	name    string
 	started chan struct{} // closed when the first task starts running
 	release chan struct{} // Run returns once this is closed
@@ -156,7 +157,7 @@ type gateWorker struct {
 }
 
 func newGateWorker(name string) *gateWorker {
-	return &gateWorker{name: name, started: make(chan struct{}), release: make(chan struct{})}
+	return &gateWorker{RateEstimator: master.NewRateEstimator(1), name: name, started: make(chan struct{}), release: make(chan struct{})}
 }
 
 func (w *gateWorker) Name() string       { return w.name }
@@ -328,4 +329,95 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := s.Search(context.Background(), dna, SearchOptions{}); err == nil {
 		t.Fatal("alphabet mismatch must fail")
 	}
+}
+
+// TestStatsReportsObservedWorkerRates drives the observe→estimate loop
+// end to end: after a search, Stats must carry one rate snapshot per
+// worker, with the completed tasks spread across them summing to the
+// query count and every observed worker's estimate moved off its seed.
+func TestStatsReportsObservedWorkerRates(t *testing.T) {
+	db, queries := testSets(23, 24, 40, 8)
+	s, err := New(db, Config{CPUs: 1, GPUs: 1, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	before := s.Stats()
+	if len(before.Workers) != 2 {
+		t.Fatalf("%d worker rates, want 2", len(before.Workers))
+	}
+	for _, w := range before.Workers {
+		if w.Tasks != 0 || w.ObservedGCUPS != w.AdvertisedGCUPS {
+			t.Fatalf("worker %s observed before any search: %+v", w.Name, w)
+		}
+	}
+
+	if _, err := s.Search(context.Background(), queries, SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	var tasks uint64
+	moved := 0
+	for _, w := range after.Workers {
+		tasks += w.Tasks
+		if w.Tasks > 0 {
+			if w.ObservedGCUPS <= 0 {
+				t.Fatalf("worker %s ran %d tasks but observes %.3f GCUPS", w.Name, w.Tasks, w.ObservedGCUPS)
+			}
+			if w.ObservedGCUPS != w.AdvertisedGCUPS {
+				moved++
+			}
+		}
+	}
+	if tasks != uint64(queries.Len()) {
+		t.Fatalf("workers observed %d tasks in total, want %d", tasks, queries.Len())
+	}
+	if moved == 0 {
+		t.Fatal("no worker's observed rate moved off its advertised seed")
+	}
+}
+
+// TestMixedPoolConfig builds a Searcher from a heterogeneous PoolSpec
+// and checks the pool shape lands in Stats, the search succeeds, and
+// hits match the homogeneous engine byte for byte — backends change
+// throughput, never results.
+func TestMixedPoolConfig(t *testing.T) {
+	db, queries := testSets(25, 26, 35, 6)
+	ref, err := New(db, Config{CPUs: 2, GPUs: 2, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want, err := ref.Search(context.Background(), queries, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := master.PoolSpec{CPU: 1, Striped: 1, Fine: 1, GPU: 1}
+	s, err := New(db, Config{Pool: spec, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st := s.Stats()
+	if st.WorkersStarted != spec.Total() || len(st.Workers) != spec.Total() {
+		t.Fatalf("pool spec %v started %d workers with %d rate entries", spec, st.WorkersStarted, len(st.Workers))
+	}
+	cpus, gpus := 0, 0
+	for _, w := range st.Workers {
+		if w.Kind == sched.CPU {
+			cpus++
+		} else {
+			gpus++
+		}
+	}
+	if cpus != spec.CPUWorkers() || gpus != spec.GPUWorkers() {
+		t.Fatalf("pool kinds %d CPU + %d GPU, want %d + %d", cpus, gpus, spec.CPUWorkers(), spec.GPUWorkers())
+	}
+	got, err := s.Search(context.Background(), queries, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHits(t, "mixed pool vs homogeneous", got, want)
 }

@@ -243,7 +243,7 @@ func (m *muxSession) handle(msg any) (done bool) {
 		m.mu.Unlock()
 	case *wire.StatsRequest:
 		st := m.s.Stats()
-		m.send(&wire.StatsResponse{
+		resp := &wire.StatsResponse{
 			ID:             t.ID,
 			DBSequences:    uint32(st.DBSequences),
 			DBResidues:     uint64(st.DBResidues),
@@ -254,7 +254,18 @@ func (m *muxSession) handle(msg any) (done bool) {
 			Queries:        st.Queries,
 			Waves:          st.Waves,
 			BatchedWaves:   st.BatchedWaves,
-		})
+			Workers:        make([]wire.WorkerRateInfo, len(st.Workers)),
+		}
+		for i, w := range st.Workers {
+			resp.Workers[i] = wire.WorkerRateInfo{
+				Name:            w.Name,
+				Kind:            uint8(w.Kind),
+				AdvertisedGCUPS: w.AdvertisedGCUPS,
+				ObservedGCUPS:   w.ObservedGCUPS,
+				Tasks:           w.Tasks,
+			}
+		}
+		m.send(resp)
 	case *wire.ChecksumRequest:
 		m.send(&wire.ChecksumResponse{ID: t.ID, Checksum: m.s.Checksum()})
 	case *wire.InfoRequest:

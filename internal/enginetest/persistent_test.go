@@ -69,3 +69,51 @@ func TestPersistentPoolMatchesOneShot(t *testing.T) {
 		s.Close()
 	}
 }
+
+// TestMixedPoolsMatchStaticRatePath is the adaptive-scheduling
+// equivalence guarantee: whatever pool spec backs the Searcher — pure
+// inter-sequence, striped, fine-grained, GPUs, or any mix — and however
+// far its measured rates drift from the advertised seeds over repeated
+// waves, the hits must stay byte-identical to the seed's static-rate
+// one-shot path. Rates move tasks between workers; they never touch
+// what a worker computes.
+func TestMixedPoolsMatchStaticRatePath(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 50, 10, 180, 92)
+	params := sw.DefaultParams()
+	queries := synth.RandomSet(alphabet.Protein, 10, 20, 120, 903)
+
+	m, err := master.New(db, queries, master.BuildWorkers(params, 2, 2, 5), master.Config{TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hitBytes(t, ref.Results)
+
+	for _, spec := range []master.PoolSpec{
+		{CPU: 2},
+		{Striped: 2},
+		{Fine: 1},
+		{CPU: 1, Striped: 1, Fine: 1, GPU: 1},
+		{Striped: 1, GPU: 2},
+	} {
+		s, err := engine.New(db, engine.Config{Params: params, Pool: spec, TopK: 5})
+		if err != nil {
+			t.Fatalf("pool %v: %v", spec, err)
+		}
+		// Several rounds so the EWMA estimates move well away from the
+		// advertised seeds between waves.
+		for round := 0; round < 3; round++ {
+			got, err := s.Search(context.Background(), queries, engine.SearchOptions{})
+			if err != nil {
+				t.Fatalf("pool %v round %d: %v", spec, round, err)
+			}
+			if !bytes.Equal(hitBytes(t, got.Results), want) {
+				t.Fatalf("pool %v round %d: hits differ from the static-rate path", spec, round)
+			}
+		}
+		s.Close()
+	}
+}

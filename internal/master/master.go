@@ -44,6 +44,18 @@ type QueryResult struct {
 	Cells      int64
 }
 
+// ObservedDuration is the time base rate estimation uses for this
+// result: the simulated device seconds when the worker ran on a modeled
+// device (a simulated GPU computes its scores on the host, so its wall
+// time measures the simulator, not the device), host wall time
+// otherwise.
+func (r QueryResult) ObservedDuration() time.Duration {
+	if r.SimSeconds > 0 {
+		return time.Duration(r.SimSeconds * float64(time.Second))
+	}
+	return r.Elapsed
+}
+
 // Worker is a processing element registered with the master.
 type Worker interface {
 	// Name identifies the worker in reports.
@@ -52,10 +64,21 @@ type Worker interface {
 	Kind() sched.Kind
 	// Run compares one query against the whole database.
 	Run(queryIndex int, query *seq.Sequence, db *seq.Set) QueryResult
-	// RateGCUPS is the worker's advertised throughput, used by the
-	// scheduling policies to estimate task processing times (the paper's
-	// master "uses the information gathered from the workers").
+	// RateGCUPS is the worker's advertised throughput, the seed of the
+	// measured estimate below (the paper's master "uses the information
+	// gathered from the workers").
 	RateGCUPS() float64
+	// ObserveTask feeds one completed task's measured cell volume and
+	// wall time into the worker's live rate estimate; the Pool calls it
+	// after every task it runs.
+	ObserveTask(cells int64, elapsed time.Duration)
+	// MeasuredRateGCUPS is the live throughput estimate the scheduling
+	// policies consume: the advertised rate until tasks were observed,
+	// then an EWMA over measured cells/second. Embedding a
+	// *RateEstimator provides it along with ObserveTask/ObservedTasks.
+	MeasuredRateGCUPS() float64
+	// ObservedTasks counts the completed tasks folded into the estimate.
+	ObservedTasks() uint64
 }
 
 // Config tunes a master run.
@@ -207,6 +230,7 @@ func TopHits(db *seq.Set, scores []int, k int) []Hit {
 
 // EngineWorker wraps any sw.Engine as a CPU-pool worker.
 type EngineWorker struct {
+	*RateEstimator
 	name   string
 	kind   sched.Kind
 	engine sw.Engine
@@ -215,12 +239,12 @@ type EngineWorker struct {
 }
 
 // NewEngineWorker builds a worker over an engine. rateGCUPS is the
-// advertised throughput used for scheduling estimates.
+// advertised throughput that seeds the worker's measured-rate estimate.
 func NewEngineWorker(name string, kind sched.Kind, engine sw.Engine, rateGCUPS float64, topK int) *EngineWorker {
 	if topK <= 0 {
 		topK = 10
 	}
-	return &EngineWorker{name: name, kind: kind, engine: engine, rate: rateGCUPS, topK: topK}
+	return &EngineWorker{RateEstimator: NewRateEstimator(rateGCUPS), name: name, kind: kind, engine: engine, rate: rateGCUPS, topK: topK}
 }
 
 // Name implements Worker.

@@ -46,7 +46,7 @@ func (p Policy) String() string {
 }
 
 // ParsePolicy resolves a policy name as accepted on the public API and
-// the command line.
+// the command line. The empty string selects the default (dual-approx).
 func ParsePolicy(name string) (Policy, error) {
 	switch name {
 	case "", "dual-approx":
@@ -58,7 +58,7 @@ func ParsePolicy(name string) (Policy, error) {
 	case "round-robin":
 		return PolicyRoundRobin, nil
 	}
-	return 0, fmt.Errorf("master: unknown policy %q", name)
+	return 0, fmt.Errorf("master: unknown policy %q (valid policies: dual-approx, dual-approx-dp, self-scheduling, round-robin)", name)
 }
 
 // ErrDynamicPolicy is returned by Assign for policies that allocate at

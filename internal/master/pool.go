@@ -82,7 +82,11 @@ func (p *Pool) Workers() []Worker { return p.workers }
 // Size returns the number of worker goroutines.
 func (p *Pool) Size() int { return len(p.workers) }
 
-// Rates summarizes the pool the way the scheduling policies see it.
+// Rates summarizes the pool the way the scheduling policies see it: a
+// live snapshot of each worker's measured throughput (the advertised
+// rate until the worker has completed tasks). Callers scheduling a new
+// wave take this snapshot at wave start, so every wave is planned with
+// the freshest observed rates.
 func (p *Pool) Rates() PoolRates { return RatesOf(p.workers) }
 
 func (p *Pool) serve(w Worker, own chan PoolTask) {
@@ -108,7 +112,12 @@ func (p *Pool) run(w Worker, t PoolTask) {
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
 	}
-	t.Done(w.Run(t.QueryIndex, t.Query, t.DB), true)
+	res := w.Run(t.QueryIndex, t.Query, t.DB)
+	// The observe half of the observe→estimate→schedule loop: every
+	// completed task refines the worker's rate before the next wave is
+	// planned. Simulated-device workers observe modeled device time.
+	w.ObserveTask(res.Cells, res.ObservedDuration())
+	t.Done(res, true)
 }
 
 // Submit hands a task to worker wi, blocking until the worker accepts it.

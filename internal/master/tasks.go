@@ -10,21 +10,33 @@ import (
 // estimates come from the database volume and the worker-advertised rates.
 
 // PoolRates summarizes the registered workers the way the scheduling
-// policies see them: pool sizes and mean advertised throughput per pool.
+// policies see them: pool sizes and mean measured throughput per pool.
 type PoolRates struct {
 	CPUs, GPUs       int
 	CPURate, GPURate float64 // mean GCUPS per worker of the pool
 }
 
 // RatesOf gathers pool sizes and mean rates from registered workers.
+// Rates are the workers' live measured estimates — the advertised rate
+// until a worker has completed tasks — so schedules built from the
+// result track what the pool actually delivers, not what it claims.
+// Rates only move tasks between workers; results are identical under
+// any rates because every worker computes exact scores.
+//
+// Adaptation is pool-granular: the paper's scheduling model (§III) is m
+// identical CPUs plus k identical GPUs, so per-worker estimates are
+// averaged into one rate per pool before BuildInstance. A pool mixing
+// backends of very different speeds is modeled by its mean; scheduling
+// with individual per-worker rates is a different machine model
+// (unrelated machines) and a ROADMAP item, not a rate-plumbing change.
 func RatesOf(workers []Worker) PoolRates {
 	var r PoolRates
 	for _, w := range workers {
 		if w.Kind() == sched.CPU {
-			r.CPURate += w.RateGCUPS()
+			r.CPURate += w.MeasuredRateGCUPS()
 			r.CPUs++
 		} else {
-			r.GPURate += w.RateGCUPS()
+			r.GPURate += w.MeasuredRateGCUPS()
 			r.GPUs++
 		}
 	}

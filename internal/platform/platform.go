@@ -27,6 +27,10 @@ type Calibration struct {
 	// CPUWorkerGCUPS is the sustained throughput of one CPU worker
 	// running the SWIPE-style engine (Table II, SWIPE, 1 worker).
 	CPUWorkerGCUPS float64
+	// GPUWorkerGCUPS is the sustained throughput of one GPU worker
+	// running the CUDASW++-style engine (Table II, CUDASW++, 1 worker:
+	// 785.26 s on UniProt => 24.8 GCUPS per C2050).
+	GPUWorkerGCUPS float64
 	// GPUHostContentionAlpha discounts each additional concurrent GPU
 	// worker for host-feed contention: effective rate multiplier is
 	// 1/(1+alpha*(g-1)) with g active GPU workers. Fitted from the
@@ -48,6 +52,7 @@ type Calibration struct {
 func PaperCalibration() Calibration {
 	return Calibration{
 		CPUWorkerGCUPS:         8.335,
+		GPUWorkerGCUPS:         24.8,
 		GPUHostContentionAlpha: 0.16,
 		MasterOverheadSec:      1.0,
 	}

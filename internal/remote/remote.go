@@ -372,7 +372,7 @@ func (b *Backend) Stats() engine.Stats {
 	if !ok {
 		return engine.Stats{}
 	}
-	return engine.Stats{
+	st := engine.Stats{
 		DBSequences:    int(m.DBSequences),
 		DBResidues:     int64(m.DBResidues),
 		DBChecksum:     m.DBChecksum,
@@ -383,6 +383,16 @@ func (b *Backend) Stats() engine.Stats {
 		Waves:          m.Waves,
 		BatchedWaves:   m.BatchedWaves,
 	}
+	for _, w := range m.Workers {
+		st.Workers = append(st.Workers, engine.WorkerRate{
+			Name:            w.Name,
+			Kind:            sched.Kind(w.Kind),
+			AdvertisedGCUPS: w.AdvertisedGCUPS,
+			ObservedGCUPS:   w.ObservedGCUPS,
+			Tasks:           w.Tasks,
+		})
+	}
+	return st
 }
 
 // ServerChecksum fetches the database fingerprint live (unlike Checksum,

@@ -173,6 +173,18 @@ func TestBackendPlanStatsChecksum(t *testing.T) {
 		st.Prepared != est.Prepared || st.WorkersStarted != est.WorkersStarted {
 		t.Fatalf("stats %+v, want %+v", st, est)
 	}
+	// The per-worker rate snapshot must cross the wire intact: same
+	// workers, kinds and advertised rates as the server engine reports
+	// locally (observed rates are live and may move between the calls).
+	if len(st.Workers) != len(est.Workers) {
+		t.Fatalf("%d worker rates over the wire, server reports %d", len(st.Workers), len(est.Workers))
+	}
+	for i := range st.Workers {
+		got, want := st.Workers[i], est.Workers[i]
+		if got.Name != want.Name || got.Kind != want.Kind || got.AdvertisedGCUPS != want.AdvertisedGCUPS {
+			t.Fatalf("worker rate %d: %+v over the wire, server reports %+v", i, got, want)
+		}
+	}
 }
 
 // TestDialRejectsChecksumMismatch: the skew guard fires at dial, on

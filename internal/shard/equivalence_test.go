@@ -236,3 +236,51 @@ func TestShardedAccountingSpansShards(t *testing.T) {
 		t.Fatalf("%d per-shard stats for %d shards", len(per), s.Shards())
 	}
 }
+
+// TestShardedMixedPoolMatchesUnsharded extends the equivalence suite to
+// heterogeneous pools and adaptive rates: shards whose engines run a
+// mixed worker set (inter-seq, striped, fine-grained, GPU) with live
+// measured rates must return hits byte-identical to the static-rate
+// homogeneous unsharded engine, and the facade's Stats must surface
+// every worker's observed rate under its shard-qualified name.
+func TestShardedMixedPoolMatchesUnsharded(t *testing.T) {
+	const topK = 5
+	db := synth.RandomSet(alphabet.Protein, 31, 10, 120, 2031)
+	queries := synth.RandomSet(alphabet.Protein, 3, 20, 90, 1002)
+
+	ref, err := engine.New(db, engine.Config{CPUs: 1, GPUs: 1, TopK: topK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := searchHits(t, ref, queries, 0)
+	ref.Close()
+
+	spec := master.PoolSpec{CPU: 1, Striped: 1, GPU: 1}
+	for _, shards := range []int{1, 3} {
+		s, err := New(db, Config{Shards: shards, Engine: engine.Config{Pool: spec, TopK: topK}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two rounds so wave 2 schedules with rates observed in wave 1.
+		for round := 0; round < 2; round++ {
+			if got := searchHits(t, s, queries, 0); !bytes.Equal(got, want) {
+				t.Fatalf("%d mixed-pool shards, round %d: hits differ from unsharded", shards, round)
+			}
+		}
+		st := s.Stats()
+		if len(st.Workers) != shards*spec.Total() {
+			t.Fatalf("%d worker rates for %d shards of %d workers", len(st.Workers), shards, spec.Total())
+		}
+		var observed uint64
+		for _, w := range st.Workers {
+			if !strings.HasPrefix(w.Name, "shard") {
+				t.Fatalf("worker rate %q not shard-qualified", w.Name)
+			}
+			observed += w.Tasks
+		}
+		if want := uint64(2 * queries.Len() * shards); observed != want {
+			t.Fatalf("workers observed %d tasks, want %d", observed, want)
+		}
+		s.Close()
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"swdual/internal/alphabet"
 	"swdual/internal/engine"
+	"swdual/internal/master"
 	"swdual/internal/remote"
 	"swdual/internal/seq"
 	"swdual/internal/synth"
@@ -210,5 +211,52 @@ func TestWithBackendsRejectsChecksumSkew(t *testing.T) {
 		t.Fatal("checksum skew accepted")
 	} else if !strings.Contains(err.Error(), "checksum") {
 		t.Fatalf("skew error does not name the checksum: %v", err)
+	}
+}
+
+// TestRemoteMixedPoolShardsMatchUnsharded runs the transport-equivalence
+// suite over heterogeneous pools: shard servers whose engines mix
+// backends (with measured rates drifting from the advertised seeds over
+// repeated waves) must stay byte-identical to one homogeneous unsharded
+// engine, and their per-worker observed rates must cross the wire into
+// the coordinator's aggregated Stats.
+func TestRemoteMixedPoolShardsMatchUnsharded(t *testing.T) {
+	const topK = 5
+	db := synth.RandomSet(alphabet.Protein, 26, 10, 120, 3207)
+	queries := synth.RandomSet(alphabet.Protein, 3, 20, 90, 1103)
+
+	ref, err := engine.New(db, engine.Config{CPUs: 1, GPUs: 1, TopK: topK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := searchHits(t, ref, queries, 0)
+	ref.Close()
+
+	spec := master.PoolSpec{Striped: 1, Fine: 1, GPU: 1}
+	const shards = 2
+	s := remoteSharded(t, db, shards, Contiguous, engine.Config{Pool: spec, TopK: topK})
+	defer s.Close()
+	for round := 0; round < 2; round++ {
+		if got := searchHits(t, s, queries, 0); !bytes.Equal(got, want) {
+			t.Fatalf("remote mixed-pool round %d: hits differ from unsharded", round)
+		}
+	}
+
+	st := s.Stats()
+	if len(st.Workers) != shards*spec.Total() {
+		t.Fatalf("%d worker rates over the wire for %d shards of %d workers", len(st.Workers), shards, spec.Total())
+	}
+	var observed uint64
+	for _, w := range st.Workers {
+		if !strings.HasPrefix(w.Name, "shard") {
+			t.Fatalf("worker rate %q not shard-qualified", w.Name)
+		}
+		if w.AdvertisedGCUPS <= 0 {
+			t.Fatalf("worker %s advertises %.3f GCUPS over the wire", w.Name, w.AdvertisedGCUPS)
+		}
+		observed += w.Tasks
+	}
+	if want := uint64(2 * queries.Len() * shards); observed != want {
+		t.Fatalf("remote workers observed %d tasks, want %d", observed, want)
 	}
 }

@@ -180,7 +180,10 @@ func (s *Searcher) Checksum() uint32 { return s.checksum }
 // Stats aggregates the per-shard engine counters: preparation passes and
 // workers sum across shards (N shards prepare N times), while Searches
 // and Queries count the facade's own calls — each Search fans out to
-// every shard but is still one search.
+// every shard but is still one search. Workers concatenates every
+// shard's per-worker rate snapshot under shard-prefixed names
+// (shard0/cpu-0), so the observed throughput of the whole cluster —
+// in-process and remote shards alike — reads out of one list.
 func (s *Searcher) Stats() engine.Stats {
 	agg := engine.Stats{
 		DBSequences: s.db.Len(),
@@ -189,12 +192,16 @@ func (s *Searcher) Stats() engine.Stats {
 		Searches:    s.searches.Load(),
 		Queries:     s.queries.Load(),
 	}
-	for _, b := range s.backends {
+	for si, b := range s.backends {
 		st := b.Stats()
 		agg.Prepared += st.Prepared
 		agg.WorkersStarted += st.WorkersStarted
 		agg.Waves += st.Waves
 		agg.BatchedWaves += st.BatchedWaves
+		for _, w := range st.Workers {
+			w.Name = fmt.Sprintf("shard%d/%s", si, w.Name)
+			agg.Workers = append(agg.Workers, w)
+		}
 	}
 	return agg
 }

@@ -17,7 +17,11 @@ import (
 
 // Protocol constants.
 const (
-	Version = 1
+	// Version gates the handshake: both ends must speak the same frame
+	// formats. 2 added the per-worker rate list to StatsResponse (an
+	// incompatible trailing extension, so version-1 peers are rejected
+	// at Hello/Welcome instead of failing mid-session on a stats poll).
+	Version = 2
 	// MaxFrame bounds a frame payload (64 MiB) to fail fast on corrupt
 	// length prefixes.
 	MaxFrame = 64 << 20
@@ -139,7 +143,20 @@ type StatsRequest struct {
 	ID uint64
 }
 
-// StatsResponse mirrors engine.Stats over the wire.
+// WorkerRateInfo is one worker's throughput snapshot inside a
+// StatsResponse: the advertised rate it registered with and the live
+// estimate measured from its completed tasks.
+type WorkerRateInfo struct {
+	Name            string
+	Kind            uint8 // 0 = CPU pool, 1 = GPU pool
+	AdvertisedGCUPS float64
+	ObservedGCUPS   float64
+	Tasks           uint64
+}
+
+// StatsResponse mirrors engine.Stats over the wire, including the
+// per-worker observed rates a coordinator aggregates into cluster
+// throughput.
 type StatsResponse struct {
 	ID             uint64
 	DBSequences    uint32
@@ -151,6 +168,7 @@ type StatsResponse struct {
 	Queries        uint64
 	Waves          uint64
 	BatchedWaves   uint64
+	Workers        []WorkerRateInfo
 }
 
 // PlanRequest asks the server to run its scheduling policy over
@@ -317,6 +335,14 @@ func Marshal(msg any) (byte, []byte, error) {
 		e.u64(m.Queries)
 		e.u64(m.Waves)
 		e.u64(m.BatchedWaves)
+		e.u32(uint32(len(m.Workers)))
+		for _, w := range m.Workers {
+			e.str(w.Name)
+			e.u8(w.Kind)
+			e.f64(w.AdvertisedGCUPS)
+			e.f64(w.ObservedGCUPS)
+			e.u64(w.Tasks)
+		}
 		return TypeStatsResponse, e.buf, nil
 	case *PlanRequest:
 		e.u64(m.ID)
@@ -507,6 +533,27 @@ func Unmarshal(typ byte, payload []byte) (any, error) {
 		m.Queries = d.u64()
 		m.Waves = d.u64()
 		m.BatchedWaves = d.u64()
+		n := d.u32()
+		if d.err != nil {
+			return nil, d.err
+		}
+		// Each worker entry needs >= 27 bytes (2-byte name prefix, kind,
+		// two rates, task count); validate before allocating. Compare in
+		// int64 so a count >= 2^31 cannot wrap negative through int on
+		// 32-bit platforms and slip past the guard into makeslice.
+		if int64(len(d.buf))/27 < int64(n) {
+			return nil, fmt.Errorf("wire: worker count %d exceeds payload", n)
+		}
+		m.Workers = make([]WorkerRateInfo, 0, n)
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			var w WorkerRateInfo
+			w.Name = d.str()
+			w.Kind = d.u8()
+			w.AdvertisedGCUPS = d.f64()
+			w.ObservedGCUPS = d.f64()
+			w.Tasks = d.u64()
+			m.Workers = append(m.Workers, w)
+		}
 		return m, d.err
 	case TypePlanRequest:
 		m := &PlanRequest{}

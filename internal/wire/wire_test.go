@@ -174,3 +174,33 @@ func TestQuickTaskRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStatsResponseRoundTrip(t *testing.T) {
+	in := &StatsResponse{
+		ID: 9, DBSequences: 10, DBResidues: 1234, DBChecksum: 0xfeed,
+		Prepared: 1, WorkersStarted: 3, Searches: 4, Queries: 5, Waves: 6, BatchedWaves: 2,
+		Workers: []WorkerRateInfo{
+			{Name: "gpu-0", Kind: 1, AdvertisedGCUPS: 24.8, ObservedGCUPS: 31.5, Tasks: 12},
+			{Name: "cpu-0", Kind: 0, AdvertisedGCUPS: 8.335, ObservedGCUPS: 7.9, Tasks: 4},
+			{Name: "striped-0", Kind: 0, AdvertisedGCUPS: 8.335, ObservedGCUPS: 8.335, Tasks: 0},
+		},
+	}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v want %+v", got, in)
+	}
+}
+
+func TestStatsResponseHostileWorkerCount(t *testing.T) {
+	// A frame whose worker count claims more entries than the payload
+	// could hold must error out before allocating.
+	in := &StatsResponse{ID: 1}
+	typ, payload, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the trailing worker-count u32 with a huge value.
+	copy(payload[len(payload)-4:], []byte{0xff, 0xff, 0xff, 0x7f})
+	if _, err := Unmarshal(typ, payload); err == nil {
+		t.Fatal("lying worker count decoded without error")
+	}
+}

@@ -65,11 +65,16 @@ func newSearcher(db *Database, opt Options, batchWindow int) (*Searcher, error) 
 	if err != nil {
 		return nil, err
 	}
+	pool, err := opt.poolSpec()
+	if err != nil {
+		return nil, err
+	}
 	cpus, gpus := opt.workers()
 	cfg := engine.Config{
 		Params: params,
 		CPUs:   cpus,
 		GPUs:   gpus,
+		Pool:   pool,
 		TopK:   opt.TopK,
 		Policy: policy,
 	}
@@ -160,12 +165,17 @@ func ServeShard(l net.Listener, db *Database, index, count int, opt Options) err
 	if err != nil {
 		return err
 	}
+	pool, err := opt.poolSpec()
+	if err != nil {
+		return err
+	}
 	r := shard.RangesFor(db.set, count, strategy)[index]
 	cpus, gpus := opt.workers()
 	eng, err := engine.New(db.set.Slice(r.Lo, r.Hi), engine.Config{
 		Params: params,
 		CPUs:   cpus,
 		GPUs:   gpus,
+		Pool:   pool,
 		TopK:   opt.TopK,
 		Policy: policy,
 	})
@@ -195,6 +205,9 @@ func (s *Searcher) Plan(queries *Database) (*SchedulePlan, error) {
 		return nil, errNilSets
 	}
 	cpus, gpus := s.opt.workers()
+	if pool, err := s.opt.poolSpec(); err == nil && pool.Total() > 0 {
+		cpus, gpus = pool.CPUWorkers(), pool.GPUWorkers()
+	}
 	return planModel(s.inner.DBLengths(), queryLengths(queries), cpus, gpus, s.opt.Policy)
 }
 

@@ -49,6 +49,17 @@ type Options struct {
 	// CPUs and GPUs set the worker pools (defaults 1 and 1).
 	CPUs int
 	GPUs int
+	// Pool selects a heterogeneous worker pool as a spec string of
+	// comma-separated backend=count pairs, e.g. "cpu=2,striped=1,gpu=1".
+	// Valid backends: "cpu" (inter-sequence SWAR, the paper's CPU
+	// engine), "striped" (striped SWAR), "fine" (fine-grained
+	// wavefront), "gpu" (simulated Tesla C2050). All backends compute
+	// exact scores, so mixing them changes throughput and scheduling,
+	// never results; each worker's advertised rate only seeds a live
+	// estimate measured from its completed tasks. When set, Pool
+	// overrides CPUs and GPUs; with sharding every shard gets its own
+	// pool of this shape.
+	Pool string
 	// TopK bounds reported hits per query (default 10).
 	TopK int
 	// Policy selects the allocation policy: "dual-approx" (default),
@@ -100,9 +111,17 @@ func (o Options) params() (sw.Params, error) {
 func (o Options) policy() (master.Policy, error) {
 	p, err := master.ParsePolicy(o.Policy)
 	if err != nil {
-		return 0, fmt.Errorf("swdual: unknown policy %q", o.Policy)
+		return 0, fmt.Errorf("swdual: %w", err)
 	}
 	return p, nil
+}
+
+func (o Options) poolSpec() (master.PoolSpec, error) {
+	s, err := master.ParsePoolSpec(o.Pool)
+	if err != nil {
+		return master.PoolSpec{}, fmt.Errorf("swdual: %w", err)
+	}
+	return s, nil
 }
 
 func (o Options) workers() (cpus, gpus int) {

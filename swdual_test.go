@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -500,5 +501,81 @@ func TestGenerateErrors(t *testing.T) {
 	}
 	if _, err := swdual.Search(nil, nil, swdual.Options{}); err == nil {
 		t.Fatal("expected error for nil databases")
+	}
+}
+
+// TestPoolOptionMatchesDefaultWorkers pins the public adaptive-pool
+// surface: a heterogeneous Options.Pool search returns hits identical
+// to the default homogeneous worker set, and the Searcher's Stats
+// expose every worker's observed (measured) GCUPS after the search.
+func TestPoolOptionMatchesDefaultWorkers(t *testing.T) {
+	db, err := swdual.GenerateDatabase("UniProt", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := swdual.GenerateQueries("standard", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := swdual.Search(db, queries, swdual.Options{CPUs: 1, GPUs: 1, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := swdual.NewSearcher(db, swdual.Options{Pool: "cpu=1,striped=1,fine=1,gpu=1", TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rep, err := s.Search(context.Background(), queries, swdual.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range rep.Results {
+		got, want := rep.Results[qi].Hits, ref.Results[qi].Hits
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d hits vs %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d hit %d: %+v vs %+v", qi, i, got[i], want[i])
+			}
+		}
+	}
+
+	st := s.Stats()
+	if len(st.Workers) != 4 {
+		t.Fatalf("%d worker rate snapshots, want 4", len(st.Workers))
+	}
+	var tasks uint64
+	for _, w := range st.Workers {
+		if w.AdvertisedGCUPS <= 0 || w.ObservedGCUPS <= 0 {
+			t.Fatalf("worker %s rates: %+v", w.Name, w)
+		}
+		tasks += w.Tasks
+	}
+	if tasks != uint64(queries.Len()) {
+		t.Fatalf("workers observed %d tasks, want %d", tasks, queries.Len())
+	}
+}
+
+// TestOptionErrorsTeachValidValues: malformed Policy and Pool options
+// fail with errors that enumerate the accepted values.
+func TestOptionErrorsTeachValidValues(t *testing.T) {
+	db, err := swdual.GenerateDatabase("UniProt", 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := swdual.GenerateQueries("standard", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := swdual.Search(db, queries, swdual.Options{Policy: "greedy"}); err == nil ||
+		!strings.Contains(err.Error(), "dual-approx-dp") {
+		t.Fatalf("bad policy error %v must list the valid policies", err)
+	}
+	if _, err := swdual.Search(db, queries, swdual.Options{Pool: "tpu=1"}); err == nil ||
+		!strings.Contains(err.Error(), "striped") {
+		t.Fatalf("bad pool error %v must list the valid backends", err)
 	}
 }
