@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"testing"
 
 	"swdual"
@@ -62,6 +63,56 @@ func BenchmarkSearchPersistent(b *testing.B) {
 	b.StopTimer()
 	if st := s.Stats(); st.Prepared != 1 {
 		b.Fatalf("database prepared %d times across %d searches", st.Prepared, b.N)
+	}
+}
+
+// BenchmarkSearchPersistentConcurrent measures the wave pipeline under
+// the load it was built for: many concurrent clients, each submitting
+// small requests against one Searcher — the serving workload, where the
+// engine runs a steady stream of small coalesced waves and per-wave
+// overhead (planning, the end-of-wave barrier) is what throughput leaks
+// through. pipeline=on plans wave N+1 while wave N executes and hands
+// workers their next queue without a barrier; pipeline=off is the
+// strict sequential-wave baseline. Hits are byte-identical across the
+// two modes — the delta is pure dispatcher latency.
+func BenchmarkSearchPersistentConcurrent(b *testing.B) {
+	db, _ := benchSearchData(b)
+	full, err := swdual.GenerateQueries("standard", 400)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One single-query set per standard query: each client request is
+	// small, so waves stay frequent and the dispatcher is actually hot.
+	sets := make([]*swdual.Database, full.Len())
+	for i := range sets {
+		id, res := full.Sequence(i)
+		if sets[i], err = swdual.FromSequences([]string{id}, []string{res}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, mode := range []string{"off", "on"} {
+		b.Run("pipeline="+mode, func(b *testing.B) {
+			s, err := swdual.NewSearcher(db, swdual.Options{CPUs: 2, GPUs: 2, TopK: 5, Pipeline: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			ctx := context.Background()
+			var client atomic.Int64
+			b.SetParallelism(4) // >= 4 concurrent clients regardless of GOMAXPROCS
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				n := int(client.Add(1))
+				for pb.Next() {
+					q := sets[n%len(sets)]
+					n++
+					if _, err := s.Search(ctx, q, swdual.SearchOptions{}); err != nil {
+						b.Error(err) // Fatal must not run off the benchmark goroutine
+						return
+					}
+				}
+			})
+		})
 	}
 }
 

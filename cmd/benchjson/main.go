@@ -1,0 +1,84 @@
+// Command benchjson converts `go test -bench` output read on stdin into
+// a JSON array, one object per benchmark result line. CI uses it to
+// write BENCH_N.json snapshots (ns/op, allocs/op, custom metrics) so the
+// performance trajectory of the engine is recorded per PR instead of
+// living only in log scrollback.
+//
+//	go test -run=NONE -bench . -benchmem ./... | benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, normalized.
+type Result struct {
+	Name    string  `json:"name"`
+	Runs    int64   `json:"runs"`
+	NsPerOp float64 `json:"ns_per_op,omitempty"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every other unit on the line (MB/s, GCUPS, model_s/…).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name N value unit [value unit]... — anything shorter is a
+		// header or a failure line.
+		if len(fields) < 4 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: fields[0], Runs: runs}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				b := v
+				r.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				r.AllocsPerOp = &a
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,51 @@
+// Allocation caps are meaningless under the race detector: -race makes
+// sync.Pool deliberately drop ~25% of Put items, so pooled buffers
+// reallocate by design and the caps would fail spuriously.
+
+//go:build !race
+
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/master"
+	"swdual/internal/synth"
+)
+
+// TestAllocsSteadyStateSearch pins the allocation budget of a warm
+// striped-engine search: profiles cached, kernel rows pooled, wave
+// scratch recycled. The cap is a hard constant — the steady-state cost
+// of a search must not scale with how many waves came before it, and
+// regressions that reintroduce per-wave or per-subject allocation blow
+// straight through it.
+func TestAllocsSteadyStateSearch(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 48, 10, 150, 65)
+	queries := synth.RandomSet(alphabet.Protein, 2, 40, 80, 66)
+	s, err := New(db, Config{Pool: master.PoolSpec{Striped: 1}, TopK: 5, BatchWindow: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ { // warm profile cache, row pools, wave scratch
+		if _, err := s.Search(ctx, queries, SearchOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := s.Search(ctx, queries, SearchOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Measured ~60 objects per 2-query search (request + merger + wave +
+	// channels + schedule + report + per-task hit lists); the cap gives
+	// ~2x headroom while still catching any per-subject or per-wave
+	// regression, which adds hundreds.
+	const searchAllocCap = 130
+	if avg > searchAllocCap {
+		t.Fatalf("steady-state Search allocates %.1f objects per call, cap %d", avg, searchAllocCap)
+	}
+}

@@ -1,0 +1,303 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/master"
+	"swdual/internal/synth"
+)
+
+// The wave-pipelining suite: overlapping the planning of wave N+1 with
+// the execution of wave N must never change what a caller gets back —
+// only when the scheduling work happens. These tests drive overlap
+// deterministically (gate workers pin a wave open) and compare pipelined
+// hits byte for byte against the strict-fence mode.
+
+// TestPipelinedMatchesSequential hammers a pipelined and a fenced
+// Searcher over the same database with the same concurrent request mix
+// and requires identical hits from both, for several rounds so waves
+// chain through the handoff path repeatedly.
+func TestPipelinedMatchesSequential(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 50, 10, 200, 61)
+	mk := func(mode PipelineMode) *Searcher {
+		s, err := New(db, Config{CPUs: 2, GPUs: 1, TopK: 5, Pipeline: mode, BatchWindow: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	on, off := mk(PipelineOn), mk(PipelineOff)
+	defer on.Close()
+	defer off.Close()
+
+	const callers = 6
+	for round := 0; round < 3; round++ {
+		var wg sync.WaitGroup
+		gots := make([]*master.Report, callers)
+		wants := make([]*master.Report, callers)
+		errs := make([]error, 2*callers)
+		for i := 0; i < callers; i++ {
+			queries := synth.RandomSet(alphabet.Protein, 3, 20, 120, int64(1000*round+i))
+			wg.Add(2)
+			go func(i int) {
+				defer wg.Done()
+				gots[i], errs[2*i] = on.Search(context.Background(), queries, SearchOptions{})
+			}(i)
+			go func(i int) {
+				defer wg.Done()
+				wants[i], errs[2*i+1] = off.Search(context.Background(), queries, SearchOptions{})
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d caller %d: %v", round, i, err)
+			}
+		}
+		for i := range gots {
+			sameHits(t, "pipelined vs sequential", gots[i], wants[i])
+		}
+	}
+	if st := off.Stats(); st.PipelinedWaves != 0 || st.OverlapNanos != 0 {
+		t.Fatalf("fenced searcher reported overlap: %+v", st)
+	}
+}
+
+// TestPipelineOverlapCounters proves overlap actually happens and is
+// counted: wave 1 is pinned open by a gate worker, more requests arrive
+// and are planned + dispatched while it still executes, and the
+// counters must record that.
+func TestPipelineOverlapCounters(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 10, 10, 50, 62)
+	gw := newGateWorker("gate-0")
+	s, err := New(db, Config{Workers: []master.Worker{gw}, TopK: 3, Pipeline: PipelineOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	search := func(i int) {
+		defer wg.Done()
+		q := synth.RandomSet(alphabet.Protein, 1, 20, 40, int64(300+i))
+		if _, err := s.Search(context.Background(), q, SearchOptions{}); err != nil {
+			t.Errorf("caller %d: %v", i, err)
+		}
+	}
+	wg.Add(1)
+	go search(0)
+	<-gw.started // wave 1 is executing and its worker pinned
+	wg.Add(1)
+	go search(1) // coalesced, planned and dispatched while wave 1 runs
+	// Wait until the dispatcher has admitted wave 2 — observable through
+	// the counter itself.
+	deadline := time.After(10 * time.Second)
+	for s.Stats().PipelinedWaves == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("second wave never overlapped the pinned first wave")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(gw.release)
+	wg.Wait()
+	st := s.Stats()
+	if st.PipelinedWaves == 0 {
+		t.Fatalf("no pipelined waves counted: %+v", st)
+	}
+	if st.OverlapNanos == 0 {
+		t.Fatalf("pipelined waves counted but no overlap time: %+v", st)
+	}
+	if st.Waves < 2 {
+		t.Fatalf("expected at least 2 waves, got %+v", st)
+	}
+}
+
+// TestPipelineCancellationMidOverlap cancels a request whose wave was
+// planned and dispatched behind a still-executing wave: the caller must
+// get its context error promptly and the Searcher must stay healthy.
+func TestPipelineCancellationMidOverlap(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 10, 10, 50, 63)
+	gw := newGateWorker("gate-0")
+	s, err := New(db, Config{Workers: []master.Worker{gw}, TopK: 3, Pipeline: PipelineOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	done1 := make(chan error, 1)
+	go func() {
+		q := synth.RandomSet(alphabet.Protein, 1, 20, 40, 400)
+		_, err := s.Search(context.Background(), q, SearchOptions{})
+		done1 <- err
+	}()
+	<-gw.started // wave 1 pinned
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done2 := make(chan error, 1)
+	go func() {
+		q := synth.RandomSet(alphabet.Protein, 2, 20, 40, 401)
+		_, err := s.Search(ctx, q, SearchOptions{})
+		done2 <- err
+	}()
+	// Let request 2 reach the dispatcher and become the overlapped wave,
+	// then kill it while wave 1 still executes.
+	deadline := time.After(10 * time.Second)
+	for s.Stats().Waves < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("second wave was never planned")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case err := <-done2:
+		if err != context.Canceled {
+			t.Fatalf("canceled mid-overlap search returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled mid-overlap search did not return")
+	}
+	close(gw.release)
+	if err := <-done1; err != nil {
+		t.Fatalf("pinned search: %v", err)
+	}
+	// The handoff chain must still be intact for new work.
+	q := synth.RandomSet(alphabet.Protein, 1, 20, 40, 402)
+	if _, err := s.Search(context.Background(), q, SearchOptions{}); err != nil {
+		t.Fatalf("search after mid-overlap cancellation: %v", err)
+	}
+}
+
+// TestPipelineCloseWithPlannedWave closes the Searcher while wave 1
+// executes, wave 2 sits planned-and-chained behind it, and a third
+// request is still queued, never admitted into any wave. Dispatched
+// waves must complete (their tasks are fed while the pool is up); the
+// unadmitted request must fail with ErrClosed.
+func TestPipelineCloseWithPlannedWave(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 10, 10, 50, 64)
+	gw := newGateWorker("gate-0")
+	s, err := New(db, Config{Workers: []master.Worker{gw}, TopK: 3, Pipeline: PipelineOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done1 := make(chan error, 1)
+	go func() {
+		q := synth.RandomSet(alphabet.Protein, 1, 20, 40, 500)
+		_, err := s.Search(context.Background(), q, SearchOptions{})
+		done1 <- err
+	}()
+	<-gw.started
+
+	done2 := make(chan error, 1)
+	go func() {
+		q := synth.RandomSet(alphabet.Protein, 1, 20, 40, 501)
+		_, err := s.Search(context.Background(), q, SearchOptions{})
+		done2 <- err
+	}()
+	deadline := time.After(10 * time.Second)
+	for s.Stats().Waves < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("second wave was never planned")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// Request 3 queues behind the depth-2 pipeline: the dispatcher is
+	// waiting for wave 1 and will never admit it once quit fires.
+	done3 := make(chan error, 1)
+	go func() {
+		q := synth.RandomSet(alphabet.Protein, 1, 20, 40, 502)
+		_, err := s.Search(context.Background(), q, SearchOptions{})
+		done3 <- err
+	}()
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	// The unadmitted request must fail promptly even while Close still
+	// drains the pinned waves.
+	select {
+	case err := <-done3:
+		if err != ErrClosed {
+			t.Fatalf("unadmitted request returned %v, want ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("unadmitted request stranded by Close")
+	}
+	close(gw.release) // let the dispatched waves finish
+	for i, ch := range []chan error{done1, done2} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("dispatched wave %d failed across Close: %v", i+1, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("dispatched wave %d stranded by Close", i+1)
+		}
+	}
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("close hung")
+	}
+}
+
+// TestParsePipeline pins the knob's grammar, including the teaching
+// error for unknown modes.
+func TestParsePipeline(t *testing.T) {
+	for name, want := range map[string]PipelineMode{
+		"": PipelineAuto, "auto": PipelineAuto, "on": PipelineOn, "off": PipelineOff,
+	} {
+		got, err := ParsePipeline(name)
+		if err != nil || got != want {
+			t.Fatalf("ParsePipeline(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParsePipeline("sideways"); err == nil {
+		t.Fatal("unknown pipeline mode accepted")
+	} else if !strings.Contains(err.Error(), "on") || !strings.Contains(err.Error(), "off") {
+		t.Fatalf("pipeline error does not teach the valid values: %v", err)
+	}
+	if PipelineAuto.String() != "auto" || PipelineOn.String() != "on" || PipelineOff.String() != "off" {
+		t.Fatalf("String round trip broken: %v %v %v", PipelineAuto, PipelineOn, PipelineOff)
+	}
+	// Auto must resolve at construction — a built Searcher never runs in
+	// "auto"; which way it resolves depends on the host's core count.
+	db := synth.RandomSet(alphabet.Protein, 5, 10, 40, 68)
+	s, err := New(db, Config{CPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.cfg.Pipeline; got != PipelineOn && got != PipelineOff {
+		t.Fatalf("auto did not resolve at construction: %v", got)
+	}
+}
+
+// TestNegativeMaxBatchRejected: a negative cap would wedge or starve the
+// coalescing loop, so New must refuse it outright instead of defaulting
+// it away.
+func TestNegativeMaxBatchRejected(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 5, 10, 40, 67)
+	if _, err := New(db, Config{CPUs: 1, MaxBatch: -3}); err == nil {
+		t.Fatal("negative MaxBatch accepted")
+	} else if !strings.Contains(err.Error(), "MaxBatch") {
+		t.Fatalf("error does not name MaxBatch: %v", err)
+	}
+	// Zero still selects the default.
+	s, err := New(db, Config{CPUs: 1, MaxBatch: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+}

@@ -254,6 +254,8 @@ func (m *muxSession) handle(msg any) (done bool) {
 			Queries:        st.Queries,
 			Waves:          st.Waves,
 			BatchedWaves:   st.BatchedWaves,
+			PipelinedWaves: st.PipelinedWaves,
+			OverlapNanos:   st.OverlapNanos,
 			Workers:        make([]wire.WorkerRateInfo, len(st.Workers)),
 		}
 		for i, w := range st.Workers {

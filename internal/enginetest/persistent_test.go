@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"sync"
 	"testing"
 	"time"
 
 	"swdual/internal/alphabet"
 	"swdual/internal/engine"
 	"swdual/internal/master"
+	"swdual/internal/seq"
 	"swdual/internal/sw"
 	"swdual/internal/synth"
 )
@@ -64,6 +66,65 @@ func TestPersistentPoolMatchesOneShot(t *testing.T) {
 			}
 			if !bytes.Equal(hitBytes(t, got.Results), hitBytes(t, want.Results)) {
 				t.Fatalf("%v round %d: persistent-pool hits differ from one-shot", policy, round)
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestPipelinedWavesMatchOneShot closes the loop on wave pipelining:
+// whatever the policy, a Searcher that overlaps wave planning with
+// execution and hands workers their next queue without a barrier must
+// return hits byte-identical to the seed's strict one-shot master —
+// across enough rounds that waves actually chain through the handoff
+// path, and with concurrent callers so waves coalesce and overlap.
+func TestPipelinedWavesMatchOneShot(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 55, 10, 190, 93)
+	params := sw.DefaultParams()
+	for _, policy := range []master.Policy{
+		master.PolicyDualApprox, master.PolicyDualApproxDP,
+		master.PolicySelfScheduling, master.PolicyRoundRobin,
+	} {
+		s, err := engine.New(db, engine.Config{
+			Params: params, CPUs: 2, GPUs: 1, TopK: 5, Policy: policy,
+			Pipeline: engine.PipelineOn, BatchWindow: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const callers = 4
+		for round := 0; round < 2; round++ {
+			var wg sync.WaitGroup
+			reports := make([]*master.Report, callers)
+			errs := make([]error, callers)
+			querySets := make([]*seq.Set, callers)
+			for i := range querySets {
+				querySets[i] = synth.RandomSet(alphabet.Protein, 4, 20, 120, int64(800+10*round+i))
+			}
+			for i := 0; i < callers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					reports[i], errs[i] = s.Search(context.Background(), querySets[i], engine.SearchOptions{})
+				}(i)
+			}
+			wg.Wait()
+			for i := 0; i < callers; i++ {
+				if errs[i] != nil {
+					t.Fatalf("%v round %d caller %d: %v", policy, round, i, errs[i])
+				}
+				m, err := master.New(db, querySets[i], master.BuildWorkers(params, 2, 1, 5),
+					master.Config{Policy: policy, TopK: 5})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := m.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(hitBytes(t, reports[i].Results), hitBytes(t, want.Results)) {
+					t.Fatalf("%v round %d caller %d: pipelined hits differ from one-shot", policy, round, i)
+				}
 			}
 		}
 		s.Close()

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"swdual/internal/sched"
+	"swdual/internal/scoring"
 	"swdual/internal/seq"
 	"swdual/internal/sw"
 )
@@ -79,6 +80,15 @@ type Worker interface {
 	MeasuredRateGCUPS() float64
 	// ObservedTasks counts the completed tasks folded into the estimate.
 	ObservedTasks() uint64
+}
+
+// ProfiledWorker is a Worker that can reuse a prepared per-query profile
+// set. The Pool routes a task through RunProfiled when the task carries
+// Profiles and the worker implements this; results must be identical to
+// Run — the profiles are a construction cache, not an input.
+type ProfiledWorker interface {
+	Worker
+	RunProfiled(queryIndex int, query *seq.Sequence, prof *scoring.QueryProfiles, db *seq.Set) QueryResult
 }
 
 // Config tunes a master run.
@@ -258,8 +268,24 @@ func (w *EngineWorker) RateGCUPS() float64 { return w.rate }
 
 // Run implements Worker.
 func (w *EngineWorker) Run(queryIndex int, query *seq.Sequence, db *seq.Set) QueryResult {
+	return w.run(queryIndex, query, nil, db)
+}
+
+// RunProfiled implements ProfiledWorker: when the wrapped engine
+// understands shared profiles, the task's prepared set replaces the
+// engine's own per-call construction.
+func (w *EngineWorker) RunProfiled(queryIndex int, query *seq.Sequence, prof *scoring.QueryProfiles, db *seq.Set) QueryResult {
+	return w.run(queryIndex, query, prof, db)
+}
+
+func (w *EngineWorker) run(queryIndex int, query *seq.Sequence, prof *scoring.QueryProfiles, db *seq.Set) QueryResult {
 	start := time.Now()
-	scores := w.engine.Scores(query.Residues, db)
+	var scores []int
+	if pe, ok := w.engine.(sw.ProfiledEngine); ok && prof != nil {
+		scores = pe.ScoresProfiled(query.Residues, prof, db)
+	} else {
+		scores = w.engine.Scores(query.Residues, db)
+	}
 	elapsed := time.Since(start)
 	return QueryResult{
 		QueryIndex: queryIndex,

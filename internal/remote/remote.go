@@ -382,6 +382,8 @@ func (b *Backend) Stats() engine.Stats {
 		Queries:        m.Queries,
 		Waves:          m.Waves,
 		BatchedWaves:   m.BatchedWaves,
+		PipelinedWaves: m.PipelinedWaves,
+		OverlapNanos:   m.OverlapNanos,
 	}
 	for _, w := range m.Workers {
 		st.Workers = append(st.Workers, engine.WorkerRate{

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"swdual/internal/alphabet"
@@ -234,6 +235,62 @@ func TestShardedAccountingSpansShards(t *testing.T) {
 	}
 	if per := s.PerShardStats(); len(per) != s.Shards() {
 		t.Fatalf("%d per-shard stats for %d shards", len(per), s.Shards())
+	}
+}
+
+// TestShardedPipelinedMatchesSequential extends the equivalence suite to
+// wave pipelining: shards whose engines overlap wave planning with
+// execution must gather hits byte-identical to shards running the strict
+// full-wave fence — under concurrent clients, so shard dispatchers
+// actually coalesce and chain waves rather than trivially running one.
+func TestShardedPipelinedMatchesSequential(t *testing.T) {
+	const topK = 5
+	db := synth.RandomSet(alphabet.Protein, 40, 10, 120, 2032)
+	mk := func(mode engine.PipelineMode) *Searcher {
+		s, err := New(db, Config{Shards: 3, Strategy: BalancedResidues, Engine: engine.Config{
+			CPUs: 1, GPUs: 1, TopK: topK, Pipeline: mode,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	on, off := mk(engine.PipelineOn), mk(engine.PipelineOff)
+	defer on.Close()
+	defer off.Close()
+	const callers = 4
+	for round := 0; round < 2; round++ {
+		var wg sync.WaitGroup
+		gots := make([]*master.Report, callers)
+		wants := make([]*master.Report, callers)
+		errs := make([]error, 2*callers)
+		for i := 0; i < callers; i++ {
+			queries := synth.RandomSet(alphabet.Protein, 2, 20, 90, int64(3000+10*round+i))
+			wg.Add(2)
+			go func(i int) {
+				defer wg.Done()
+				gots[i], errs[2*i] = on.Search(context.Background(), queries, engine.SearchOptions{})
+			}(i)
+			go func(i int) {
+				defer wg.Done()
+				wants[i], errs[2*i+1] = off.Search(context.Background(), queries, engine.SearchOptions{})
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d caller %d: %v", round, i, err)
+			}
+		}
+		for i := range gots {
+			if !bytes.Equal(hitBytes(t, gots[i].Results), hitBytes(t, wants[i].Results)) {
+				t.Fatalf("round %d caller %d: pipelined sharded hits differ from fenced", round, i)
+			}
+		}
+	}
+	// The facade must surface the shards' pipelining counters.
+	if st := off.Stats(); st.PipelinedWaves != 0 {
+		t.Fatalf("fenced shards reported pipelined waves: %+v", st)
 	}
 }
 

@@ -198,6 +198,8 @@ func (s *Searcher) Stats() engine.Stats {
 		agg.WorkersStarted += st.WorkersStarted
 		agg.Waves += st.Waves
 		agg.BatchedWaves += st.BatchedWaves
+		agg.PipelinedWaves += st.PipelinedWaves
+		agg.OverlapNanos += st.OverlapNanos
 		for _, w := range st.Workers {
 			w.Name = fmt.Sprintf("shard%d/%s", si, w.Name)
 			agg.Workers = append(agg.Workers, w)

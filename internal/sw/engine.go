@@ -46,13 +46,24 @@ func (e *Profiled) Name() string { return "scalar-profiled" }
 
 // Scores implements Engine.
 func (e *Profiled) Scores(query []byte, db *seq.Set) []int {
+	return e.scores(query, scoring.NewProfile(e.params.Matrix, query), db)
+}
+
+// ScoresProfiled implements ProfiledEngine: the scalar profile comes
+// from the shared per-query set instead of being rebuilt per call.
+func (e *Profiled) ScoresProfiled(query []byte, prof *scoring.QueryProfiles, db *seq.Set) []int {
+	return e.scores(query, prof.Scalar(), db)
+}
+
+func (e *Profiled) scores(query []byte, prof *scoring.Profile, db *seq.Set) []int {
 	out := make([]int, db.Len())
-	prof := scoring.NewProfile(e.params.Matrix, query)
 	for i := range db.Seqs {
 		out[i] = scoreProfiled(prof, e.params.Gaps, db.Seqs[i].Residues)
 	}
 	return out
 }
+
+var _ ProfiledEngine = (*Profiled)(nil)
 
 // scoreProfiled is the Gotoh recurrence driven by a scalar query profile,
 // iterating subject-major so each subject residue selects one profile row.

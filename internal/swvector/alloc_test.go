@@ -1,0 +1,111 @@
+// Allocation caps are meaningless under the race detector: -race makes
+// sync.Pool deliberately drop ~25% of Put items, so pooled buffers
+// reallocate by design and the caps would fail spuriously.
+
+//go:build !race
+
+package swvector
+
+import (
+	"math/rand"
+	"testing"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/scoring"
+	"swdual/internal/sw"
+	"swdual/internal/synth"
+)
+
+// Allocation-regression caps: once the row pools are warm, the striped
+// kernels must not touch the allocator per subject — that is the whole
+// point of pooling the H/E rows. The caps allow a fractional average so
+// a stray GC emptying a sync.Pool mid-measurement cannot flake the
+// build, but any real per-call allocation (1.0 or more) fails.
+const kernelAllocCap = 0.5
+
+func TestAllocsStripedKernel8(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	params := sw.DefaultParams()
+	query := randSeq(rng, 120)
+	subject := randSeq(rng, 200)
+	p8, err := scoring.NewStripedProfile8(params.Matrix, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ScoreStriped8(p8, params.Gaps, subject) // warm the row pool
+	if avg := testing.AllocsPerRun(50, func() {
+		ScoreStriped8(p8, params.Gaps, subject)
+	}); avg > kernelAllocCap {
+		t.Fatalf("ScoreStriped8 allocates %.2f objects per call, want 0", avg)
+	}
+}
+
+func TestAllocsStripedKernel16(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	params := sw.DefaultParams()
+	query := randSeq(rng, 120)
+	subject := randSeq(rng, 200)
+	p16 := scoring.NewStripedProfile16(params.Matrix, query)
+	ScoreStriped16(p16, params.Gaps, subject)
+	if avg := testing.AllocsPerRun(50, func() {
+		ScoreStriped16(p16, params.Gaps, subject)
+	}); avg > kernelAllocCap {
+		t.Fatalf("ScoreStriped16 allocates %.2f objects per call, want 0", avg)
+	}
+}
+
+func TestAllocsStripedKernel128(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	params := sw.DefaultParams()
+	query := randSeq(rng, 120)
+	subject := randSeq(rng, 200)
+	p, ok := newProfile128(params.Matrix, query)
+	if !ok {
+		t.Fatal("profile128 construction failed")
+	}
+	scoreStriped128(p, params.Gaps, subject)
+	if avg := testing.AllocsPerRun(50, func() {
+		scoreStriped128(p, params.Gaps, subject)
+	}); avg > kernelAllocCap {
+		t.Fatalf("scoreStriped128 allocates %.2f objects per call, want 0", avg)
+	}
+}
+
+// TestAllocsInterSeqSteadyState pins the whole-task allocation budget of
+// the inter-sequence engine: with the kernel pooled, a Scores call may
+// allocate only its output slice and overflow bookkeeping — a constant,
+// not a function of the subject count.
+func TestAllocsInterSeqSteadyState(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 64, 10, 150, 41)
+	query := synth.RandomSet(alphabet.Protein, 1, 80, 80, 42).Seqs[0].Residues
+	e := NewInterSeq(sw.DefaultParams())
+	e.Scores(query, db) // warm the kernel pool
+	// Budget: the out slice plus small escalation bookkeeping. The cap is
+	// deliberately a hard small constant — before pooling, this path cost
+	// O(queryLen) words per call.
+	const interAllocCap = 8
+	if avg := testing.AllocsPerRun(20, func() {
+		e.Scores(query, db)
+	}); avg > interAllocCap {
+		t.Fatalf("InterSeq.Scores allocates %.1f objects per call, cap %d", avg, interAllocCap)
+	}
+}
+
+// TestAllocsStripedEngineSteadyState is the same budget for the striped
+// engine fed a shared profile set, the configuration the wave dispatcher
+// runs: profile construction amortized away, rows pooled, so each task
+// pays the output slice and nothing per subject.
+func TestAllocsStripedEngineSteadyState(t *testing.T) {
+	db := synth.RandomSet(alphabet.Protein, 64, 10, 150, 43)
+	query := synth.RandomSet(alphabet.Protein, 1, 80, 80, 44).Seqs[0].Residues
+	params := sw.DefaultParams()
+	e := NewStriped(params)
+	prof := scoring.NewQueryProfiles(params.Matrix, query)
+	e.ScoresProfiled(query, prof, db) // warm pools and build the profiles once
+	const stripedAllocCap = 8
+	if avg := testing.AllocsPerRun(20, func() {
+		e.ScoresProfiled(query, prof, db)
+	}); avg > stripedAllocCap {
+		t.Fatalf("Striped.ScoresProfiled allocates %.1f objects per call, cap %d", avg, stripedAllocCap)
+	}
+}

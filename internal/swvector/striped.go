@@ -30,9 +30,8 @@ func ScoreStriped8(p *scoring.StripedProfile8, gaps scoring.Gaps, subject []byte
 	vGapOpen := splat8(uint8(gaps.OpenCost()))
 	vGapExt := splat8(uint8(gaps.Extend))
 	vBias := splat8(p.Bias)
-	hStore := make([]uint64, segLen)
-	hLoad := make([]uint64, segLen)
-	vE := make([]uint64, segLen)
+	sc, hStore, hLoad, vE := getRows(segLen)
+	defer putRows(sc)
 	var vMax uint64
 	for _, d := range subject {
 		vP := p.Rows[d]
@@ -95,9 +94,8 @@ func ScoreStriped16(p *scoring.StripedProfile16, gaps scoring.Gaps, subject []by
 	vGapOpen := splat16(uint16(gaps.OpenCost()))
 	vGapExt := splat16(uint16(gaps.Extend))
 	vBias := splat16(p.Bias)
-	hStore := make([]uint64, segLen)
-	hLoad := make([]uint64, segLen)
-	vE := make([]uint64, segLen)
+	sc, hStore, hLoad, vE := getRows(segLen)
+	defer putRows(sc)
 	var vMax uint64
 	for _, d := range subject {
 		vP := p.Rows[d]
@@ -151,10 +149,22 @@ func (e *Striped) Name() string { return "striped-swar" }
 
 // Scores implements sw.Engine.
 func (e *Striped) Scores(query []byte, db *seq.Set) []int {
+	return e.scores(query, scoring.NewQueryProfiles(e.params.Matrix, query), db)
+}
+
+// ScoresProfiled implements sw.ProfiledEngine: the striped profiles come
+// from the shared per-query set (built once per query per wave, or once
+// per query lifetime behind a profile cache) instead of being rebuilt on
+// every task.
+func (e *Striped) ScoresProfiled(query []byte, prof *scoring.QueryProfiles, db *seq.Set) []int {
+	return e.scores(query, prof, db)
+}
+
+func (e *Striped) scores(query []byte, prof *scoring.QueryProfiles, db *seq.Set) []int {
 	out := make([]int, db.Len())
 	var p8 *scoring.StripedProfile8
 	if e.Width == 0 || e.Width == 8 {
-		p8, _ = scoring.NewStripedProfile8(e.params.Matrix, query)
+		p8, _ = prof.Striped8()
 	}
 	var p16 *scoring.StripedProfile16
 	for i := range db.Seqs {
@@ -171,7 +181,7 @@ func (e *Striped) Scores(query []byte, db *seq.Set) []int {
 			}
 		}
 		if p16 == nil {
-			p16 = scoring.NewStripedProfile16(e.params.Matrix, query)
+			p16 = prof.Striped16()
 		}
 		s, over := ScoreStriped16(p16, e.params.Gaps, subject)
 		if !over || e.Width == 16 {
@@ -182,6 +192,8 @@ func (e *Striped) Scores(query []byte, db *seq.Set) []int {
 	}
 	return out
 }
+
+var _ sw.ProfiledEngine = (*Striped)(nil)
 
 // scoreStriped8Exact is the striped kernel with the lazy-F early
 // termination replaced by full F/E propagation: each of the Lanes8Count
@@ -197,9 +209,8 @@ func scoreStriped8Exact(p *scoring.StripedProfile8, gaps scoring.Gaps, subject [
 	vGapOpen := splat8(uint8(gaps.OpenCost()))
 	vGapExt := splat8(uint8(gaps.Extend))
 	vBias := splat8(p.Bias)
-	hStore := make([]uint64, segLen)
-	hLoad := make([]uint64, segLen)
-	vE := make([]uint64, segLen)
+	sc, hStore, hLoad, vE := getRows(segLen)
+	defer putRows(sc)
 	var vMax uint64
 	for _, d := range subject {
 		vP := p.Rows[d]
@@ -241,9 +252,8 @@ func scoreStriped16Exact(p *scoring.StripedProfile16, gaps scoring.Gaps, subject
 	vGapOpen := splat16(uint16(gaps.OpenCost()))
 	vGapExt := splat16(uint16(gaps.Extend))
 	vBias := splat16(p.Bias)
-	hStore := make([]uint64, segLen)
-	hLoad := make([]uint64, segLen)
-	vE := make([]uint64, segLen)
+	sc, hStore, hLoad, vE := getRows(segLen)
+	defer putRows(sc)
 	var vMax uint64
 	for _, d := range subject {
 		vP := p.Rows[d]

@@ -97,9 +97,8 @@ func scoreStriped128(p *profile128, gaps scoring.Gaps, subject []byte) (score in
 	vGapOpen := splat128(uint8(gaps.OpenCost()))
 	vGapExt := splat128(uint8(gaps.Extend))
 	vBias := splat128(p.bias)
-	hStore := make([]v128, segLen)
-	hLoad := make([]v128, segLen)
-	vE := make([]v128, segLen)
+	sc, hStore, hLoad, vE := getRows128(segLen)
+	defer putRows128(sc)
 	var vMax v128
 	for _, d := range subject {
 		vP := p.rows[d]
@@ -143,9 +142,8 @@ func scoreStriped128Exact(p *profile128, gaps scoring.Gaps, subject []byte) int 
 	vGapOpen := splat128(uint8(gaps.OpenCost()))
 	vGapExt := splat128(uint8(gaps.Extend))
 	vBias := splat128(p.bias)
-	hStore := make([]v128, segLen)
-	hLoad := make([]v128, segLen)
-	vE := make([]v128, segLen)
+	sc, hStore, hLoad, vE := getRows128(segLen)
+	defer putRows128(sc)
 	var vMax v128
 	for _, d := range subject {
 		vP := p.rows[d]

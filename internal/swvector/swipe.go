@@ -1,6 +1,8 @@
 package swvector
 
 import (
+	"sync"
+
 	"swdual/internal/scoring"
 	"swdual/internal/seq"
 	"swdual/internal/sw"
@@ -24,6 +26,19 @@ func (e *InterSeq) Name() string { return "interseq-swar" }
 
 // Scores implements sw.Engine.
 func (e *InterSeq) Scores(query []byte, db *seq.Set) []int {
+	return e.scores(query, nil, db)
+}
+
+// ScoresProfiled implements sw.ProfiledEngine. The inter-sequence kernel
+// builds its column profile from the matrix directly, so the shared set
+// only saves the 16-bit striped profile of the overflow rescoring path —
+// but that is exactly the profile rebuilt per task today whenever any
+// subject saturates 8 bits.
+func (e *InterSeq) ScoresProfiled(query []byte, prof *scoring.QueryProfiles, db *seq.Set) []int {
+	return e.scores(query, prof, db)
+}
+
+func (e *InterSeq) scores(query []byte, prof *scoring.QueryProfiles, db *seq.Set) []int {
 	out := make([]int, db.Len())
 	if len(query) == 0 || db.Len() == 0 {
 		return out
@@ -36,8 +51,14 @@ func (e *InterSeq) Scores(query []byte, db *seq.Set) []int {
 	var overflowed []int
 	k := newInterKernel(e.params, bias, query)
 	k.run(db, out, &overflowed)
+	k.release()
 	if len(overflowed) > 0 {
-		p16 := scoring.NewStripedProfile16(m, query)
+		var p16 *scoring.StripedProfile16
+		if prof != nil {
+			p16 = prof.Striped16()
+		} else {
+			p16 = scoring.NewStripedProfile16(m, query)
+		}
 		for _, i := range overflowed {
 			s, over := ScoreStriped16(p16, e.params.Gaps, db.Seqs[i].Residues)
 			if over {
@@ -48,6 +69,8 @@ func (e *InterSeq) Scores(query []byte, db *seq.Set) []int {
 	}
 	return out
 }
+
+var _ sw.ProfiledEngine = (*InterSeq)(nil)
 
 // interKernel holds the per-search vector state.
 type interKernel struct {
@@ -65,18 +88,33 @@ type interKernel struct {
 	laneMax  uint64
 }
 
+// interKernelPool recycles kernels across tasks: the hcol/ecol/dprofile
+// rows are the per-search DP state, and reusing their backing arrays
+// (cleared on acquisition) keeps the steady-state search allocation-free
+// the same way the striped kernels pool their H/E rows.
+var interKernelPool = sync.Pool{New: func() any { return new(interKernel) }}
+
 func newInterKernel(p sw.Params, bias uint8, query []byte) *interKernel {
-	return &interKernel{
-		params:   p,
-		query:    query,
-		bias:     bias,
-		vBias:    splat8(bias),
-		vGapOpen: splat8(uint8(p.Gaps.OpenCost())),
-		vGapExt:  splat8(uint8(p.Gaps.Extend)),
-		hcol:     make([]uint64, len(query)+1),
-		ecol:     make([]uint64, len(query)+1),
-		dprofile: make([]uint64, p.Matrix.Size()),
-	}
+	k := interKernelPool.Get().(*interKernel)
+	k.params = p
+	k.query = query
+	k.bias = bias
+	k.vBias = splat8(bias)
+	k.vGapOpen = splat8(uint8(p.Gaps.OpenCost()))
+	k.vGapExt = splat8(uint8(p.Gaps.Extend))
+	k.hcol = resizeCleared(k.hcol, len(query)+1)
+	k.ecol = resizeCleared(k.ecol, len(query)+1)
+	k.dprofile = resizeCleared(k.dprofile, p.Matrix.Size())
+	k.laneMax = 0
+	return k
+}
+
+// release returns the kernel to the pool. The caller must not touch it
+// afterwards.
+func (k *interKernel) release() {
+	k.query = nil
+	k.params = sw.Params{}
+	interKernelPool.Put(k)
 }
 
 func (k *interKernel) run(db *seq.Set, out []int, overflowed *[]int) {

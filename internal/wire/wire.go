@@ -20,8 +20,11 @@ const (
 	// Version gates the handshake: both ends must speak the same frame
 	// formats. 2 added the per-worker rate list to StatsResponse (an
 	// incompatible trailing extension, so version-1 peers are rejected
-	// at Hello/Welcome instead of failing mid-session on a stats poll).
-	Version = 2
+	// at Hello/Welcome instead of failing mid-session on a stats poll);
+	// 3 added the wave-pipelining counters (PipelinedWaves,
+	// OverlapNanos) in the middle of StatsResponse, which shifts every
+	// later field — again rejected at handshake, not mid-session.
+	Version = 3
 	// MaxFrame bounds a frame payload (64 MiB) to fail fast on corrupt
 	// length prefixes.
 	MaxFrame = 64 << 20
@@ -168,6 +171,8 @@ type StatsResponse struct {
 	Queries        uint64
 	Waves          uint64
 	BatchedWaves   uint64
+	PipelinedWaves uint64 // waves planned while the previous wave executed
+	OverlapNanos   uint64 // planning time hidden behind execution
 	Workers        []WorkerRateInfo
 }
 
@@ -335,6 +340,8 @@ func Marshal(msg any) (byte, []byte, error) {
 		e.u64(m.Queries)
 		e.u64(m.Waves)
 		e.u64(m.BatchedWaves)
+		e.u64(m.PipelinedWaves)
+		e.u64(m.OverlapNanos)
 		e.u32(uint32(len(m.Workers)))
 		for _, w := range m.Workers {
 			e.str(w.Name)
@@ -533,6 +540,8 @@ func Unmarshal(typ byte, payload []byte) (any, error) {
 		m.Queries = d.u64()
 		m.Waves = d.u64()
 		m.BatchedWaves = d.u64()
+		m.PipelinedWaves = d.u64()
+		m.OverlapNanos = d.u64()
 		n := d.u32()
 		if d.err != nil {
 			return nil, d.err

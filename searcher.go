@@ -69,14 +69,19 @@ func newSearcher(db *Database, opt Options, batchWindow int) (*Searcher, error) 
 	if err != nil {
 		return nil, err
 	}
+	pipeline, err := opt.pipeline()
+	if err != nil {
+		return nil, err
+	}
 	cpus, gpus := opt.workers()
 	cfg := engine.Config{
-		Params: params,
-		CPUs:   cpus,
-		GPUs:   gpus,
-		Pool:   pool,
-		TopK:   opt.TopK,
-		Policy: policy,
+		Params:   params,
+		CPUs:     cpus,
+		GPUs:     gpus,
+		Pool:     pool,
+		TopK:     opt.TopK,
+		Policy:   policy,
+		Pipeline: pipeline,
 	}
 	if batchWindow < 0 {
 		cfg.BatchWindow = -1 // one-shot runs have no co-callers to wait for
@@ -169,15 +174,20 @@ func ServeShard(l net.Listener, db *Database, index, count int, opt Options) err
 	if err != nil {
 		return err
 	}
+	pipeline, err := opt.pipeline()
+	if err != nil {
+		return err
+	}
 	r := shard.RangesFor(db.set, count, strategy)[index]
 	cpus, gpus := opt.workers()
 	eng, err := engine.New(db.set.Slice(r.Lo, r.Hi), engine.Config{
-		Params: params,
-		CPUs:   cpus,
-		GPUs:   gpus,
-		Pool:   pool,
-		TopK:   opt.TopK,
-		Policy: policy,
+		Params:   params,
+		CPUs:     cpus,
+		GPUs:     gpus,
+		Pool:     pool,
+		TopK:     opt.TopK,
+		Policy:   policy,
+		Pipeline: pipeline,
 	})
 	if err != nil {
 		return err
