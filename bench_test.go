@@ -66,6 +66,47 @@ func BenchmarkSearchPersistent(b *testing.B) {
 	}
 }
 
+// BenchmarkCachedSearch prices the result cache against the persistent
+// uncached path on the same repeated search: cache=off re-runs the full
+// wave every iteration; cache=on pays one cold wave during warm-up and
+// serves every timed iteration from the cache — the delta is the entire
+// alignment cost, leaving only key construction and the defensive copy.
+// Hits are byte-identical either way (the equivalence suite proves it).
+func BenchmarkCachedSearch(b *testing.B) {
+	db, queries := benchSearchData(b)
+	for _, mode := range []string{"off", "on"} {
+		b.Run("cache="+mode, func(b *testing.B) {
+			s, err := swdual.NewSearcher(db, swdual.Options{
+				CPUs: 2, GPUs: 2, TopK: 5, Cache: mode == "on",
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			ctx := context.Background()
+			// Warm up: with the cache on, the cold miss happens here and
+			// every timed iteration is a hit.
+			if _, err := s.Search(ctx, queries, swdual.SearchOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Search(ctx, queries, swdual.SearchOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := s.Stats()
+			if mode == "on" && st.CacheHits != uint64(b.N) {
+				b.Fatalf("cache hits %d across %d timed searches", st.CacheHits, b.N)
+			}
+			if mode == "off" && st.CacheHits != 0 {
+				b.Fatalf("uncached searcher reported %d cache hits", st.CacheHits)
+			}
+		})
+	}
+}
+
 // BenchmarkSearchPersistentConcurrent measures the wave pipeline under
 // the load it was built for: many concurrent clients, each submitting
 // small requests against one Searcher — the serving workload, where the

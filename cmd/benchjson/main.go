@@ -18,8 +18,12 @@ import (
 
 // Result is one benchmark line, normalized.
 type Result struct {
-	Name    string  `json:"name"`
-	Runs    int64   `json:"runs"`
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix go test appends to the name
+	// (BenchmarkFoo-8 → Name "BenchmarkFoo", Procs 8); 0 when absent.
+	Procs int64 `json:"procs,omitempty"`
+	Runs  int64 `json:"runs"`
+	// NsPerOp is the wall time per iteration.
 	NsPerOp float64 `json:"ns_per_op,omitempty"`
 	// BytesPerOp and AllocsPerOp are present with -benchmem.
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
@@ -28,48 +32,72 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// splitProcs separates the trailing -N GOMAXPROCS suffix go test
+// appends to benchmark names from the name proper. Sub-benchmark path
+// segments can themselves end in digits (…/shards=8), so only a suffix
+// after the LAST dash — all digits, non-empty — counts.
+func splitProcs(name string) (string, int64) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name, 0
+	}
+	procs, err := strconv.ParseInt(name[i+1:], 10, 64)
+	if err != nil || procs <= 0 {
+		return name, 0
+	}
+	return name[:i], procs
+}
+
+// parseLine turns one `go test -bench` result line into a Result;
+// ok is false for headers, failures and anything else non-result.
+func parseLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	// Name N value unit [value unit]... — anything shorter is a
+	// header or a failure line.
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	name, procs := splitProcs(fields[0])
+	r := Result{Name: name, Procs: procs, Runs: runs}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, true
+}
+
 func main() {
 	var results []Result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		line := sc.Text()
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
 		}
-		fields := strings.Fields(line)
-		// Name N value unit [value unit]... — anything shorter is a
-		// header or a failure line.
-		if len(fields) < 4 {
-			continue
-		}
-		runs, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			continue
-		}
-		r := Result{Name: fields[0], Runs: runs}
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			switch unit := fields[i+1]; unit {
-			case "ns/op":
-				r.NsPerOp = v
-			case "B/op":
-				b := v
-				r.BytesPerOp = &b
-			case "allocs/op":
-				a := v
-				r.AllocsPerOp = &a
-			default:
-				if r.Metrics == nil {
-					r.Metrics = map[string]float64{}
-				}
-				r.Metrics[unit] = v
-			}
-		}
-		results = append(results, r)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestParseLineSplitsProcs(t *testing.T) {
+	r, ok := parseLine("BenchmarkCachedSearch/cache=on-8         \t  272059\t      8339 ns/op\t   12608 B/op\t      47 allocs/op")
+	if !ok {
+		t.Fatal("result line rejected")
+	}
+	if r.Name != "BenchmarkCachedSearch/cache=on" || r.Procs != 8 {
+		t.Fatalf("name %q procs %d, want suffix split off", r.Name, r.Procs)
+	}
+	if r.Runs != 272059 || r.NsPerOp != 8339 {
+		t.Fatalf("runs/ns %d/%v", r.Runs, r.NsPerOp)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 12608 || r.AllocsPerOp == nil || *r.AllocsPerOp != 47 {
+		t.Fatalf("benchmem fields lost: %+v", r)
+	}
+}
+
+func TestParseLineKeepsDigitBearingSubBenchNames(t *testing.T) {
+	// The sub-benchmark segment ends in digits but carries no -N suffix:
+	// the digits belong to the name.
+	r, ok := parseLine("BenchmarkShardedSearch/shards=8 100 5 ns/op")
+	if !ok {
+		t.Fatal("result line rejected")
+	}
+	if r.Name != "BenchmarkShardedSearch/shards=8" || r.Procs != 0 {
+		t.Fatalf("name %q procs %d: shard count mistaken for GOMAXPROCS", r.Name, r.Procs)
+	}
+}
+
+func TestParseLineCustomMetrics(t *testing.T) {
+	r, ok := parseLine("BenchmarkEngineStriped-4 10 100 ns/op 3.14 GCUPS")
+	if !ok {
+		t.Fatal("result line rejected")
+	}
+	if r.Procs != 4 || r.Metrics["GCUPS"] != 3.14 {
+		t.Fatalf("custom metric lost: %+v", r)
+	}
+}
+
+func TestParseLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"BenchmarkBroken-8",
+		"BenchmarkFail-8 --- FAIL: BenchmarkFail",
+		"PASS",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("accepted non-result line %q", line)
+		}
+	}
+}

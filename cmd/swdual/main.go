@@ -58,6 +58,8 @@ func main() {
 		remote   = flag.String("remote", "", "send the queries to a serve-mode engine at this address")
 		shards   = flag.Int("shards", 1, "split the database into this many shards, each with its own worker pool")
 		split    = flag.String("shard-split", "contiguous", "shard boundary strategy: contiguous | balanced")
+		cache    = flag.Bool("cache", false, "cache search results: repeated queries are answered without a scheduling wave and concurrent identical queries collapse into one (hits stay byte-identical)")
+		cacheSz  = flag.Int("cache-size", 0, "max cached search fingerprints with -cache (0 = default 1024)")
 
 		shardServe = flag.String("shard-serve", "", "serve one shard of the database on this address (cluster serve)")
 		shardIndex = flag.Int("shard-index", 0, "which shard -shard-serve exposes")
@@ -78,6 +80,8 @@ func main() {
 		Pipeline:   *pipeline,
 		Shards:     *shards,
 		ShardSplit: *split,
+		Cache:      *cache,
+		CacheSize:  *cacheSz,
 	}
 	if *remShards != "" {
 		opt.RemoteShards = strings.Split(*remShards, ",")

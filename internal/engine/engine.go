@@ -40,6 +40,7 @@ import (
 
 	"swdual/internal/alphabet"
 	"swdual/internal/master"
+	"swdual/internal/resultcache"
 	"swdual/internal/sched"
 	"swdual/internal/scoring"
 	"swdual/internal/seq"
@@ -141,6 +142,22 @@ type Config struct {
 	// and Off on single-core ones. Results are byte-identical in every
 	// mode.
 	Pipeline PipelineMode
+	// Cache enables the result cache and singleflight collapsing in
+	// front of the dispatcher: a repeated search (same query residues,
+	// same effective TopK, same database) is answered from a bounded
+	// LRU without running a wave, and concurrent identical searches
+	// collapse into one wave slot. Off by default — the paper's
+	// benchmarks measure scheduling, so reproduction runs must pay
+	// every wave. Hits are byte-identical with the cache on or off.
+	Cache bool
+	// CacheSize caps cached search fingerprints when Cache is on (0
+	// selects resultcache.DefaultMaxEntries); a negative value is
+	// rejected by New.
+	CacheSize int
+	// CacheBytes caps the result cache's estimated memory when Cache is
+	// on (0 selects resultcache.DefaultMaxBytes); a negative value is
+	// rejected by New.
+	CacheBytes int64
 }
 
 func (c *Config) defaults() {
@@ -197,6 +214,24 @@ type Stats struct {
 	// previous wave was still executing — wall time the sequential
 	// dispatcher would have added to the critical path.
 	OverlapNanos uint64
+	// CacheHits / CacheMisses / CacheEvictions count result-cache
+	// traffic (all zero with Config.Cache off). CollapsedSearches
+	// counts searches answered as singleflight followers — identical
+	// concurrent requests that shared a leader's wave instead of
+	// running their own. Searches - CacheHits - CollapsedSearches is
+	// the number of requests that actually entered the dispatcher.
+	CacheHits         uint64
+	CacheMisses       uint64
+	CacheEvictions    uint64
+	CollapsedSearches uint64
+	// ProfileEntries / ProfileHits / ProfileMisses / ProfileEvictions
+	// expose the per-query profile cache (PR 5), which amortizes
+	// striped-profile construction across waves — previously invisible
+	// to operators.
+	ProfileEntries   int
+	ProfileHits      uint64
+	ProfileMisses    uint64
+	ProfileEvictions uint64
 	// Workers snapshots each worker's advertised vs observed throughput
 	// at the moment Stats was called — the rates the next scheduling
 	// wave will be planned with. On a sharded Searcher the names are
@@ -256,6 +291,12 @@ type Searcher struct {
 	profiles *scoring.ProfileCache
 	scratch  sync.Pool // *waveScratch
 
+	// cache and flight implement the result cache and singleflight
+	// collapsing in front of the dispatcher; both are nil with
+	// Config.Cache off, and Search then goes straight to searchWave.
+	cache  *resultcache.Cache
+	flight *resultcache.Flight
+
 	prepared       atomic.Int64
 	searches       atomic.Uint64
 	queries        atomic.Uint64
@@ -263,6 +304,7 @@ type Searcher struct {
 	batchedWaves   atomic.Uint64
 	pipelinedWaves atomic.Uint64
 	overlapNanos   atomic.Uint64
+	collapsed      atomic.Uint64
 }
 
 // New prepares the database once and starts the persistent worker pool
@@ -278,6 +320,12 @@ func New(db *seq.Set, cfg Config) (*Searcher, error) {
 		// of wedging the dispatcher.
 		return nil, fmt.Errorf("engine: negative MaxBatch %d (0 selects the default)", cfg.MaxBatch)
 	}
+	if cfg.CacheSize < 0 {
+		return nil, fmt.Errorf("engine: negative CacheSize %d (0 selects the default)", cfg.CacheSize)
+	}
+	if cfg.CacheBytes < 0 {
+		return nil, fmt.Errorf("engine: negative CacheBytes %d (0 selects the default)", cfg.CacheBytes)
+	}
 	cfg.defaults()
 	s := &Searcher{
 		cfg:    cfg,
@@ -288,6 +336,10 @@ func New(db *seq.Set, cfg Config) (*Searcher, error) {
 	}
 	s.profiles = scoring.NewProfileCache(cfg.Params.Matrix, 0)
 	s.scratch.New = func() any { return new(waveScratch) }
+	if cfg.Cache {
+		s.cache = resultcache.New(resultcache.Config{MaxEntries: cfg.CacheSize, MaxBytes: cfg.CacheBytes})
+		s.flight = resultcache.NewFlight()
+	}
 	s.prepare()
 	workers := cfg.Workers
 	if workers == nil {
@@ -374,20 +426,31 @@ func (s *Searcher) Stats() Stats {
 			Tasks:           w.ObservedTasks(),
 		}
 	}
-	return Stats{
-		DBSequences:    s.db.Len(),
-		DBResidues:     s.dbResidues,
-		DBChecksum:     s.checksum,
-		Prepared:       int(s.prepared.Load()),
-		WorkersStarted: s.pool.Size(),
-		Searches:       s.searches.Load(),
-		Queries:        s.queries.Load(),
-		Waves:          s.waves.Load(),
-		BatchedWaves:   s.batchedWaves.Load(),
-		PipelinedWaves: s.pipelinedWaves.Load(),
-		OverlapNanos:   s.overlapNanos.Load(),
-		Workers:        rates,
+	ps := s.profiles.Stats()
+	st := Stats{
+		DBSequences:       s.db.Len(),
+		DBResidues:        s.dbResidues,
+		DBChecksum:        s.checksum,
+		Prepared:          int(s.prepared.Load()),
+		WorkersStarted:    s.pool.Size(),
+		Searches:          s.searches.Load(),
+		Queries:           s.queries.Load(),
+		Waves:             s.waves.Load(),
+		BatchedWaves:      s.batchedWaves.Load(),
+		PipelinedWaves:    s.pipelinedWaves.Load(),
+		OverlapNanos:      s.overlapNanos.Load(),
+		CollapsedSearches: s.collapsed.Load(),
+		ProfileEntries:    ps.Entries,
+		ProfileHits:       ps.Hits,
+		ProfileMisses:     ps.Misses,
+		ProfileEvictions:  ps.Evictions,
+		Workers:           rates,
 	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.CacheHits, st.CacheMisses, st.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
+	}
+	return st
 }
 
 // Search compares every query against the database and returns merged,
@@ -395,6 +458,15 @@ func (s *Searcher) Stats() Stats {
 // It is safe for any number of goroutines to call Search concurrently;
 // concurrent calls may share a scheduling wave. Search honors ctx: on
 // cancellation it returns ctx.Err() and unstarted tasks are skipped.
+//
+// With Config.Cache on, a search whose fingerprint (query residues,
+// effective TopK, database checksum) was answered before returns the
+// cached hits without entering the dispatcher, and concurrent identical
+// searches collapse onto one wave: the first becomes the leader and
+// runs the wave, the rest wait for its answer. A follower's ctx
+// cancellation abandons only that follower; a leader error reaches
+// every follower and is never cached. Hits are byte-identical to an
+// uncached search either way.
 func (s *Searcher) Search(ctx context.Context, queries *seq.Set, opts SearchOptions) (*master.Report, error) {
 	if queries == nil {
 		return nil, fmt.Errorf("engine: nil query set")
@@ -408,6 +480,46 @@ func (s *Searcher) Search(ctx context.Context, queries *seq.Set, opts SearchOpti
 	}
 	s.searches.Add(1)
 	s.queries.Add(uint64(queries.Len()))
+	if s.cache == nil || queries.Len() == 0 {
+		return s.searchWave(ctx, queries, topK)
+	}
+	// A dead context never gets a cached answer: callers rely on
+	// cancellation meaning "stop", warm cache or not.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := resultcache.Key(s.checksum, topK, queries)
+	if hits, ok := s.cache.Get(key); ok {
+		return resultcache.Report(s.cfg.Policy, queries, hits), nil
+	}
+	call, leader := s.flight.Join(key)
+	if !leader {
+		s.collapsed.Add(1)
+		hits, err := call.Wait(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return resultcache.Report(s.cfg.Policy, queries, resultcache.CopyHits(hits)), nil
+	}
+	rep, err := s.searchWave(ctx, queries, topK)
+	if err != nil {
+		s.flight.Finish(key, call, nil, err)
+		return nil, err
+	}
+	hits := make([][]master.Hit, len(rep.Results))
+	for i := range rep.Results {
+		hits[i] = rep.Results[i].Hits
+	}
+	s.cache.Put(key, hits)
+	s.flight.Finish(key, call, resultcache.CopyHits(hits), nil)
+	return rep, nil
+}
+
+// searchWave runs one real search through the dispatcher: submit the
+// request, wait for its merge, assemble the report and apply the
+// per-request TopK truncation. This is the whole of Search when the
+// result cache is off.
+func (s *Searcher) searchWave(ctx context.Context, queries *seq.Set, topK int) (*master.Report, error) {
 	req := &request{
 		ctx:     ctx,
 		queries: queries,

@@ -244,19 +244,27 @@ func (m *muxSession) handle(msg any) (done bool) {
 	case *wire.StatsRequest:
 		st := m.s.Stats()
 		resp := &wire.StatsResponse{
-			ID:             t.ID,
-			DBSequences:    uint32(st.DBSequences),
-			DBResidues:     uint64(st.DBResidues),
-			DBChecksum:     st.DBChecksum,
-			Prepared:       uint32(st.Prepared),
-			WorkersStarted: uint32(st.WorkersStarted),
-			Searches:       st.Searches,
-			Queries:        st.Queries,
-			Waves:          st.Waves,
-			BatchedWaves:   st.BatchedWaves,
-			PipelinedWaves: st.PipelinedWaves,
-			OverlapNanos:   st.OverlapNanos,
-			Workers:        make([]wire.WorkerRateInfo, len(st.Workers)),
+			ID:                t.ID,
+			DBSequences:       uint32(st.DBSequences),
+			DBResidues:        uint64(st.DBResidues),
+			DBChecksum:        st.DBChecksum,
+			Prepared:          uint32(st.Prepared),
+			WorkersStarted:    uint32(st.WorkersStarted),
+			Searches:          st.Searches,
+			Queries:           st.Queries,
+			Waves:             st.Waves,
+			BatchedWaves:      st.BatchedWaves,
+			PipelinedWaves:    st.PipelinedWaves,
+			OverlapNanos:      st.OverlapNanos,
+			CacheHits:         st.CacheHits,
+			CacheMisses:       st.CacheMisses,
+			CacheEvictions:    st.CacheEvictions,
+			CollapsedSearches: st.CollapsedSearches,
+			ProfileEntries:    uint32(st.ProfileEntries),
+			ProfileHits:       st.ProfileHits,
+			ProfileMisses:     st.ProfileMisses,
+			ProfileEvictions:  st.ProfileEvictions,
+			Workers:           make([]wire.WorkerRateInfo, len(st.Workers)),
 		}
 		for i, w := range st.Workers {
 			resp.Workers[i] = wire.WorkerRateInfo{

@@ -373,17 +373,25 @@ func (b *Backend) Stats() engine.Stats {
 		return engine.Stats{}
 	}
 	st := engine.Stats{
-		DBSequences:    int(m.DBSequences),
-		DBResidues:     int64(m.DBResidues),
-		DBChecksum:     m.DBChecksum,
-		Prepared:       int(m.Prepared),
-		WorkersStarted: int(m.WorkersStarted),
-		Searches:       m.Searches,
-		Queries:        m.Queries,
-		Waves:          m.Waves,
-		BatchedWaves:   m.BatchedWaves,
-		PipelinedWaves: m.PipelinedWaves,
-		OverlapNanos:   m.OverlapNanos,
+		DBSequences:       int(m.DBSequences),
+		DBResidues:        int64(m.DBResidues),
+		DBChecksum:        m.DBChecksum,
+		Prepared:          int(m.Prepared),
+		WorkersStarted:    int(m.WorkersStarted),
+		Searches:          m.Searches,
+		Queries:           m.Queries,
+		Waves:             m.Waves,
+		BatchedWaves:      m.BatchedWaves,
+		PipelinedWaves:    m.PipelinedWaves,
+		OverlapNanos:      m.OverlapNanos,
+		CacheHits:         m.CacheHits,
+		CacheMisses:       m.CacheMisses,
+		CacheEvictions:    m.CacheEvictions,
+		CollapsedSearches: m.CollapsedSearches,
+		ProfileEntries:    int(m.ProfileEntries),
+		ProfileHits:       m.ProfileHits,
+		ProfileMisses:     m.ProfileMisses,
+		ProfileEvictions:  m.ProfileEvictions,
 	}
 	for _, w := range m.Workers {
 		st.Workers = append(st.Workers, engine.WorkerRate{

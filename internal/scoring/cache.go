@@ -1,6 +1,10 @@
 package scoring
 
-import "sync"
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
 
 // QueryProfiles lazily builds and shares every profile representation of
 // one query against one matrix: the scalar profile, the 8-bit striped
@@ -63,16 +67,41 @@ func (q *QueryProfiles) Scalar() *Profile {
 // ProfileCache maps query residue content to its shared QueryProfiles,
 // so a persistent search service that sees the same queries across many
 // scheduling waves builds each profile once for the lifetime of the
-// cache instead of once per wave. The cache is bounded: past max
-// entries, an arbitrary entry is evicted (queries that repeat soon
-// re-enter; correctness never depends on a hit, only steady-state
-// allocation does). Safe for concurrent use.
+// cache instead of once per wave. The cache is a bounded LRU: past max
+// entries, the least recently used profile set is evicted, so queries
+// that keep repeating — the ones whose profiles are worth holding —
+// survive while one-off queries age out (correctness never depends on
+// a hit, only steady-state allocation does). Safe for concurrent use.
+//
+// Hit/miss/eviction counters are atomics read by Stats, so observing
+// the cache never extends the lock hold on the hot Get path.
 type ProfileCache struct {
 	m   *Matrix
 	max int
 
-	mu      sync.Mutex
-	entries map[string]*QueryProfiles
+	mu    sync.Mutex
+	order *list.List // front = most recently used; values are *profileEntry
+	index map[string]*list.Element
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// profileEntry is one residue-content → profiles mapping on the LRU
+// list.
+type profileEntry struct {
+	key      string
+	profiles *QueryProfiles
+}
+
+// ProfileCacheStats is a point-in-time snapshot of a ProfileCache's
+// occupancy and counters.
+type ProfileCacheStats struct {
+	Entries   int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
 }
 
 // DefaultProfileCacheSize bounds a zero-configured ProfileCache.
@@ -84,7 +113,7 @@ func NewProfileCache(m *Matrix, max int) *ProfileCache {
 	if max <= 0 {
 		max = DefaultProfileCacheSize
 	}
-	return &ProfileCache{m: m, max: max, entries: make(map[string]*QueryProfiles, max)}
+	return &ProfileCache{m: m, max: max, order: list.New(), index: make(map[string]*list.Element, max)}
 }
 
 // Get returns the shared profile set for a query's residue content,
@@ -94,21 +123,33 @@ func NewProfileCache(m *Matrix, max int) *ProfileCache {
 func (c *ProfileCache) Get(query []byte) *QueryProfiles {
 	key := string(query)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if p, ok := c.entries[key]; ok {
+	if el, ok := c.index[key]; ok {
+		c.order.MoveToFront(el)
+		p := el.Value.(*profileEntry).profiles
+		c.mu.Unlock()
+		c.hits.Add(1)
 		return p
-	}
-	if len(c.entries) >= c.max {
-		for k := range c.entries { // evict an arbitrary entry; see type doc
-			delete(c.entries, k)
-			break
-		}
 	}
 	// The entry must own its residue bytes: it outlives the request that
 	// supplied query, and the lazy profiles may be built long after a
 	// caller reused or mutated its buffer.
 	p := NewQueryProfiles(c.m, []byte(key))
-	c.entries[key] = p
+	c.index[key] = c.order.PushFront(&profileEntry{key: key, profiles: p})
+	// Evicting after inserting (rather than before) keeps the insert a
+	// single code path; the loop restores the bound immediately, so no
+	// caller can ever observe Len() > max once Get returns.
+	var evicted uint64
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.index, back.Value.(*profileEntry).key)
+		evicted++
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
 	return p
 }
 
@@ -116,5 +157,18 @@ func (c *ProfileCache) Get(query []byte) *QueryProfiles {
 func (c *ProfileCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	return c.order.Len()
+}
+
+// Stats snapshots the cache's occupancy and counters.
+func (c *ProfileCache) Stats() ProfileCacheStats {
+	c.mu.Lock()
+	entries := c.order.Len()
+	c.mu.Unlock()
+	return ProfileCacheStats{
+		Entries:   entries,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
 }

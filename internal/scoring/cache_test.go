@@ -1,0 +1,121 @@
+package scoring
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestProfileCacheSharesAndBounds is the basic contract: equal residue
+// content shares one entry, the bound holds, and Stats sees the
+// traffic.
+func TestProfileCacheSharesAndBounds(t *testing.T) {
+	m, err := ByName("BLOSUM62")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewProfileCache(m, 4)
+	q := []byte{0, 1, 2, 3}
+	p1 := c.Get(q)
+	p2 := c.Get(append([]byte(nil), q...)) // same content, different buffer
+	if p1 != p2 {
+		t.Fatal("equal residue content must share one profile set")
+	}
+	for i := byte(0); i < 8; i++ {
+		c.Get([]byte{i, i, i})
+	}
+	if n := c.Len(); n > 4 {
+		t.Fatalf("Len %d exceeds bound 4", n)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 9 {
+		t.Fatalf("hits/misses %d/%d, want 1/9", st.Hits, st.Misses)
+	}
+	if st.Evictions != 9-4 {
+		t.Fatalf("evictions %d, want %d", st.Evictions, 9-4)
+	}
+	if st.Entries != 4 {
+		t.Fatalf("entries %d, want 4", st.Entries)
+	}
+}
+
+// TestProfileCacheLRUKeepsHotEntries evicts in recency order: an entry
+// that keeps getting hit must survive a sweep of one-off queries.
+func TestProfileCacheLRUKeepsHotEntries(t *testing.T) {
+	m, err := ByName("BLOSUM62")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewProfileCache(m, 8)
+	hot := []byte{1, 2, 3, 4, 5}
+	want := c.Get(hot)
+	for i := 0; i < 100; i++ {
+		c.Get([]byte(fmt.Sprintf("%03d", i%10+10))) // cold sweep (codes 49..57 are valid residues)
+		if got := c.Get(hot); got != want {
+			t.Fatalf("hot entry rebuilt after %d cold inserts", i+1)
+		}
+	}
+}
+
+// TestProfileCacheConcurrentBound is the eviction-accounting property
+// test: 8 goroutines fill past max concurrently (run under -race), the
+// bound must never be observed exceeded, and entries that every
+// goroutine keeps re-reading must survive the churn.
+func TestProfileCacheConcurrentBound(t *testing.T) {
+	m, err := ByName("BLOSUM62")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const max = 16
+	c := NewProfileCache(m, max)
+	hot := []byte{7, 7, 7}
+	hotProfiles := c.Get(hot)
+
+	const goroutines = 8
+	const inserts = 200
+	var wg sync.WaitGroup
+	violations := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < inserts; i++ {
+				// Unique per goroutine+iteration: every Get inserts.
+				c.Get([]byte{byte(g), byte(i), byte(i >> 4), 1})
+				if got := c.Get(hot); got != hotProfiles {
+					select {
+					case violations <- fmt.Sprintf("goroutine %d: hot entry evicted and rebuilt at insert %d", g, i):
+					default:
+					}
+					return
+				}
+				if n := c.Len(); n > max {
+					select {
+					case violations <- fmt.Sprintf("goroutine %d: Len %d exceeds max %d", g, n, max):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(violations)
+	for v := range violations {
+		t.Fatal(v)
+	}
+	if n := c.Len(); n > max {
+		t.Fatalf("final Len %d exceeds max %d", n, max)
+	}
+	st := c.Stats()
+	wantMisses := uint64(goroutines*inserts + 1) // every unique insert plus the initial hot fill
+	if st.Misses != wantMisses {
+		t.Fatalf("misses %d, want %d (eviction accounting lost inserts)", st.Misses, wantMisses)
+	}
+	// Everything inserted beyond the resident set must be accounted as
+	// an eviction: misses - entries == evictions, exactly.
+	if st.Evictions != wantMisses-uint64(st.Entries) {
+		t.Fatalf("evictions %d with %d misses and %d entries (accounting drifted under races)",
+			st.Evictions, st.Misses, st.Entries)
+	}
+}

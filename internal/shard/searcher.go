@@ -12,6 +12,7 @@ import (
 	"swdual/internal/alphabet"
 	"swdual/internal/engine"
 	"swdual/internal/master"
+	"swdual/internal/resultcache"
 	"swdual/internal/sched"
 	"swdual/internal/seq"
 )
@@ -26,6 +27,18 @@ type Config struct {
 	// Engine configures each per-shard engine.Searcher: worker counts are
 	// per shard, so Shards×(CPUs+GPUs) workers run in total.
 	Engine engine.Config
+	// Cache enables a coordinator-side result cache with singleflight
+	// collapsing: a repeated search is answered before the scatter — no
+	// shard sees it at all, which is what lets the cluster keep
+	// answering hot queries while shards restart — and concurrent
+	// identical searches collapse into one scatter. The per-shard
+	// engines do NOT additionally cache (Engine.Cache is ignored under
+	// sharding): one answer cached twice would double the memory for
+	// zero extra hits. CacheSize and CacheBytes bound the coordinator
+	// cache exactly like their engine.Config counterparts.
+	Cache      bool
+	CacheSize  int
+	CacheBytes int64
 }
 
 // Searcher is a sharded search service: one engine.Backend per database
@@ -40,6 +53,11 @@ type Searcher struct {
 	db       *seq.Set
 	strategy Strategy
 	topK     int
+	// policy labels cached reports (New copies it from Engine.Policy;
+	// zero — the dual-approximation default — after WithBackends). It
+	// never affects hits, only the Report.Policy field of answers that
+	// ran no scatter.
+	policy master.Policy
 
 	ranges   []Range
 	backends []engine.Backend
@@ -48,8 +66,14 @@ type Searcher struct {
 	dbLengths  []int
 	checksum   uint32
 
-	searches atomic.Uint64
-	queries  atomic.Uint64
+	searches  atomic.Uint64
+	queries   atomic.Uint64
+	collapsed atomic.Uint64
+
+	// cache and flight are the coordinator-side result cache (nil when
+	// disabled): answers are served and collapsed before the scatter.
+	cache  *resultcache.Cache
+	flight *resultcache.Flight
 
 	closeOnce sync.Once
 	closeErr  error
@@ -67,6 +91,10 @@ func New(db *seq.Set, cfg Config) (*Searcher, error) {
 		cfg.Shards = 1
 	}
 	ranges := RangesFor(db, cfg.Shards, cfg.Strategy)
+	// The coordinator caches whole-database answers; a second cache of
+	// the same answer's slices inside each shard engine would only
+	// duplicate memory, so sharded engines always run uncached.
+	cfg.Engine.Cache = false
 	backends := make([]engine.Backend, 0, len(ranges))
 	for _, r := range ranges {
 		sh, err := engine.New(db.Slice(r.Lo, r.Hi), cfg.Engine)
@@ -85,7 +113,20 @@ func New(db *seq.Set, cfg Config) (*Searcher, error) {
 		}
 		return nil, err
 	}
+	s.policy = cfg.Engine.Policy
+	if cfg.Cache {
+		s.EnableCache(cfg.CacheSize, cfg.CacheBytes)
+	}
 	return s, nil
+}
+
+// EnableCache attaches the coordinator-side result cache and
+// singleflight collapsing (see Config.Cache). maxEntries and maxBytes
+// bound it (0 selects the resultcache defaults). Call before serving
+// traffic: enabling is not synchronized with concurrent Search calls.
+func (s *Searcher) EnableCache(maxEntries int, maxBytes int64) {
+	s.cache = resultcache.New(resultcache.Config{MaxEntries: maxEntries, MaxBytes: maxBytes})
+	s.flight = resultcache.NewFlight()
 }
 
 // WithBackends assembles a sharded Searcher over pre-built backends, one
@@ -186,11 +227,16 @@ func (s *Searcher) Checksum() uint32 { return s.checksum }
 // in-process and remote shards alike — reads out of one list.
 func (s *Searcher) Stats() engine.Stats {
 	agg := engine.Stats{
-		DBSequences: s.db.Len(),
-		DBResidues:  s.dbResidues,
-		DBChecksum:  s.checksum,
-		Searches:    s.searches.Load(),
-		Queries:     s.queries.Load(),
+		DBSequences:       s.db.Len(),
+		DBResidues:        s.dbResidues,
+		DBChecksum:        s.checksum,
+		Searches:          s.searches.Load(),
+		Queries:           s.queries.Load(),
+		CollapsedSearches: s.collapsed.Load(),
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		agg.CacheHits, agg.CacheMisses, agg.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 	}
 	for si, b := range s.backends {
 		st := b.Stats()
@@ -200,6 +246,17 @@ func (s *Searcher) Stats() engine.Stats {
 		agg.BatchedWaves += st.BatchedWaves
 		agg.PipelinedWaves += st.PipelinedWaves
 		agg.OverlapNanos += st.OverlapNanos
+		// Backend cache counters fold into the same totals: per-shard
+		// engines run uncached under this facade, but a backend may be a
+		// remote engine serving other clients with its own cache.
+		agg.CacheHits += st.CacheHits
+		agg.CacheMisses += st.CacheMisses
+		agg.CacheEvictions += st.CacheEvictions
+		agg.CollapsedSearches += st.CollapsedSearches
+		agg.ProfileEntries += st.ProfileEntries
+		agg.ProfileHits += st.ProfileHits
+		agg.ProfileMisses += st.ProfileMisses
+		agg.ProfileEvictions += st.ProfileEvictions
 		for _, w := range st.Workers {
 			w.Name = fmt.Sprintf("shard%d/%s", si, w.Name)
 			agg.Workers = append(agg.Workers, w)
@@ -242,6 +299,11 @@ func (s *Searcher) Plan(queryLens []int) (*sched.Schedule, error) {
 // ctx.Err() and unstarted tasks are skipped. Because a global top-k hit
 // is necessarily in its own shard's top-k, merging the per-shard lists
 // loses nothing.
+//
+// With the coordinator cache on (Config.Cache, EnableCache), a repeated
+// search is answered before the scatter — no backend is touched — and
+// concurrent identical searches collapse into one scatter, with the
+// same leader/follower semantics as the engine-level cache.
 func (s *Searcher) Search(ctx context.Context, queries *seq.Set, opts engine.SearchOptions) (*master.Report, error) {
 	if queries == nil {
 		return nil, fmt.Errorf("shard: nil query set")
@@ -253,10 +315,48 @@ func (s *Searcher) Search(ctx context.Context, queries *seq.Set, opts engine.Sea
 	if topK <= 0 || topK > s.topK {
 		topK = s.topK
 	}
-	start := time.Now()
 	s.searches.Add(1)
 	s.queries.Add(uint64(queries.Len()))
+	if s.cache == nil || queries.Len() == 0 {
+		return s.scatter(ctx, queries, topK)
+	}
+	// A dead context never gets a cached answer: callers rely on
+	// cancellation meaning "stop", warm cache or not.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := resultcache.Key(s.checksum, topK, queries)
+	if hits, ok := s.cache.Get(key); ok {
+		return resultcache.Report(s.policy, queries, hits), nil
+	}
+	call, leader := s.flight.Join(key)
+	if !leader {
+		s.collapsed.Add(1)
+		hits, err := call.Wait(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return resultcache.Report(s.policy, queries, resultcache.CopyHits(hits)), nil
+	}
+	rep, err := s.scatter(ctx, queries, topK)
+	if err != nil {
+		s.flight.Finish(key, call, nil, err)
+		return nil, err
+	}
+	hits := make([][]master.Hit, len(rep.Results))
+	for i := range rep.Results {
+		hits[i] = rep.Results[i].Hits
+	}
+	s.cache.Put(key, hits)
+	s.flight.Finish(key, call, resultcache.CopyHits(hits), nil)
+	return rep, nil
+}
 
+// scatter runs one real sharded search: fan out to every backend, wait,
+// triage errors, gather. This is the whole of Search when the
+// coordinator cache is off.
+func (s *Searcher) scatter(ctx context.Context, queries *seq.Set, topK int) (*master.Report, error) {
+	start := time.Now()
 	// The first shard to fail cancels its siblings: a dead shard server
 	// must fail the whole call fast, not after the slowest healthy shard
 	// finishes work whose results will be discarded anyway.

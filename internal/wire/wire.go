@@ -24,7 +24,11 @@ const (
 	// 3 added the wave-pipelining counters (PipelinedWaves,
 	// OverlapNanos) in the middle of StatsResponse, which shifts every
 	// later field — again rejected at handshake, not mid-session.
-	Version = 3
+	// 4 added the result-cache and profile-cache counters (CacheHits
+	// through ProfileEvictions) before the worker list in
+	// StatsResponse, shifting the list; version-3 peers are rejected at
+	// handshake, not mid-session on a stats poll.
+	Version = 4
 	// MaxFrame bounds a frame payload (64 MiB) to fail fast on corrupt
 	// length prefixes.
 	MaxFrame = 64 << 20
@@ -173,7 +177,19 @@ type StatsResponse struct {
 	BatchedWaves   uint64
 	PipelinedWaves uint64 // waves planned while the previous wave executed
 	OverlapNanos   uint64 // planning time hidden behind execution
-	Workers        []WorkerRateInfo
+	// Result-cache counters (version 4): all zero when the server runs
+	// uncached.
+	CacheHits         uint64
+	CacheMisses       uint64
+	CacheEvictions    uint64
+	CollapsedSearches uint64 // searches answered as singleflight followers
+	// Profile-cache counters (version 4): occupancy and traffic of the
+	// per-query profile cache.
+	ProfileEntries   uint32
+	ProfileHits      uint64
+	ProfileMisses    uint64
+	ProfileEvictions uint64
+	Workers          []WorkerRateInfo
 }
 
 // PlanRequest asks the server to run its scheduling policy over
@@ -342,6 +358,14 @@ func Marshal(msg any) (byte, []byte, error) {
 		e.u64(m.BatchedWaves)
 		e.u64(m.PipelinedWaves)
 		e.u64(m.OverlapNanos)
+		e.u64(m.CacheHits)
+		e.u64(m.CacheMisses)
+		e.u64(m.CacheEvictions)
+		e.u64(m.CollapsedSearches)
+		e.u32(m.ProfileEntries)
+		e.u64(m.ProfileHits)
+		e.u64(m.ProfileMisses)
+		e.u64(m.ProfileEvictions)
 		e.u32(uint32(len(m.Workers)))
 		for _, w := range m.Workers {
 			e.str(w.Name)
@@ -542,6 +566,14 @@ func Unmarshal(typ byte, payload []byte) (any, error) {
 		m.BatchedWaves = d.u64()
 		m.PipelinedWaves = d.u64()
 		m.OverlapNanos = d.u64()
+		m.CacheHits = d.u64()
+		m.CacheMisses = d.u64()
+		m.CacheEvictions = d.u64()
+		m.CollapsedSearches = d.u64()
+		m.ProfileEntries = d.u32()
+		m.ProfileHits = d.u64()
+		m.ProfileMisses = d.u64()
+		m.ProfileEvictions = d.u64()
 		n := d.u32()
 		if d.err != nil {
 			return nil, d.err

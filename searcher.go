@@ -75,13 +75,16 @@ func newSearcher(db *Database, opt Options, batchWindow int) (*Searcher, error) 
 	}
 	cpus, gpus := opt.workers()
 	cfg := engine.Config{
-		Params:   params,
-		CPUs:     cpus,
-		GPUs:     gpus,
-		Pool:     pool,
-		TopK:     opt.TopK,
-		Policy:   policy,
-		Pipeline: pipeline,
+		Params:     params,
+		CPUs:       cpus,
+		GPUs:       gpus,
+		Pool:       pool,
+		TopK:       opt.TopK,
+		Policy:     policy,
+		Pipeline:   pipeline,
+		Cache:      opt.Cache,
+		CacheSize:  opt.CacheSize,
+		CacheBytes: opt.CacheBytes,
 	}
 	if batchWindow < 0 {
 		cfg.BatchWindow = -1 // one-shot runs have no co-callers to wait for
@@ -98,9 +101,20 @@ func newSearcher(db *Database, opt Options, batchWindow int) (*Searcher, error) 
 		if err != nil {
 			return nil, err
 		}
+		if opt.Cache {
+			// The cache belongs in the coordinator: a cached answer
+			// skips the network scatter entirely.
+			sh.EnableCache(opt.CacheSize, opt.CacheBytes)
+		}
 		inner, shards = sh, sh.Shards()
 	case opt.Shards > 1:
-		sh, err := shard.New(db.set, shard.Config{Shards: opt.Shards, Strategy: strategy, Engine: cfg})
+		// shard.New moves the cache to the coordinator and runs the
+		// per-shard engines uncached (one answer cached twice would
+		// double the memory for zero extra hits).
+		sh, err := shard.New(db.set, shard.Config{
+			Shards: opt.Shards, Strategy: strategy, Engine: cfg,
+			Cache: opt.Cache, CacheSize: opt.CacheSize, CacheBytes: opt.CacheBytes,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -181,13 +195,16 @@ func ServeShard(l net.Listener, db *Database, index, count int, opt Options) err
 	r := shard.RangesFor(db.set, count, strategy)[index]
 	cpus, gpus := opt.workers()
 	eng, err := engine.New(db.set.Slice(r.Lo, r.Hi), engine.Config{
-		Params:   params,
-		CPUs:     cpus,
-		GPUs:     gpus,
-		Pool:     pool,
-		TopK:     opt.TopK,
-		Policy:   policy,
-		Pipeline: pipeline,
+		Params:     params,
+		CPUs:       cpus,
+		GPUs:       gpus,
+		Pool:       pool,
+		TopK:       opt.TopK,
+		Policy:     policy,
+		Pipeline:   pipeline,
+		Cache:      opt.Cache,
+		CacheSize:  opt.CacheSize,
+		CacheBytes: opt.CacheBytes,
 	})
 	if err != nil {
 		return err

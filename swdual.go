@@ -94,6 +94,20 @@ type Options struct {
 	// stay byte-identical to an unsharded search. When set, Shards is
 	// ignored.
 	RemoteShards []string
+	// Cache enables the result cache with singleflight collapsing: a
+	// repeated search (same query residues, same TopK, same database)
+	// is answered from a bounded LRU without running a scheduling wave,
+	// and concurrent identical searches collapse into one wave. With
+	// sharding (local or remote) the cache lives in the coordinator, so
+	// a cached answer never reaches a shard. Off by default — the
+	// paper's benchmarks measure scheduling, so reproduction runs pay
+	// every wave. Hits are byte-identical with the cache on or off.
+	Cache bool
+	// CacheSize caps cached search fingerprints (0 selects the default,
+	// 1024); CacheBytes caps the cache's estimated memory (0 selects
+	// the default, 64 MiB).
+	CacheSize  int
+	CacheBytes int64
 }
 
 func (o Options) params() (sw.Params, error) {

@@ -2,6 +2,7 @@ package swdual_test
 
 import (
 	"context"
+	"errors"
 	"net"
 	"path/filepath"
 	"strings"
@@ -614,5 +615,136 @@ func TestPipelineOptionMatchesDefault(t *testing.T) {
 				t.Fatalf("query %d hit %d: %+v vs %+v", qi, i, a[i], b[i])
 			}
 		}
+	}
+}
+
+// TestCacheOptionMatchesDefault: the public Cache knob must not change
+// results — a cached Searcher returns hits identical to an uncached
+// one, on the cold miss and on warm repeats, and the Stats counters
+// account for every round.
+func TestCacheOptionMatchesDefault(t *testing.T) {
+	db, err := swdual.GenerateDatabase("UniProt", 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := swdual.GenerateQueries("standard", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := swdual.Search(db, queries, swdual.Options{CPUs: 1, GPUs: 1, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := swdual.NewSearcher(db, swdual.Options{CPUs: 1, GPUs: 1, TopK: 5, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for round := 0; round < 3; round++ {
+		rep, err := s.Search(context.Background(), queries, swdual.SearchOptions{})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for qi := range rep.Results {
+			got, ref := rep.Results[qi].Hits, want.Results[qi].Hits
+			if len(got) != len(ref) {
+				t.Fatalf("round %d query %d: %d hits vs %d", round, qi, len(got), len(ref))
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("round %d query %d hit %d: %+v vs %+v", round, qi, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+	st := s.Stats()
+	if st.CacheMisses != 1 || st.CacheHits != 2 {
+		t.Fatalf("misses/hits %d/%d, want 1/2", st.CacheMisses, st.CacheHits)
+	}
+	if st.Waves != 1 {
+		t.Fatalf("waves %d, want 1 (repeats must be served from the cache)", st.Waves)
+	}
+}
+
+// TestCacheServesConcurrentRepeats: once an answer is warm, any number
+// of concurrent identical searches are pure cache hits — no new waves.
+func TestCacheServesConcurrentRepeats(t *testing.T) {
+	db, err := swdual.GenerateDatabase("UniProt", 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := swdual.GenerateQueries("standard", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := swdual.NewSearcher(db, swdual.Options{CPUs: 2, TopK: 5, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	warm, err := s.Search(context.Background(), queries, swdual.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	reports := make([]*swdual.Report, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = s.Search(context.Background(), queries, swdual.SearchOptions{})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		for qi := range reports[i].Results {
+			got, ref := reports[i].Results[qi].Hits, warm.Results[qi].Hits
+			if len(got) != len(ref) {
+				t.Fatalf("caller %d query %d: %d hits vs %d", i, qi, len(got), len(ref))
+			}
+			for hi := range got {
+				if got[hi] != ref[hi] {
+					t.Fatalf("caller %d query %d hit %d: %+v vs %+v", i, qi, hi, got[hi], ref[hi])
+				}
+			}
+		}
+	}
+	st := s.Stats()
+	if st.CacheHits != callers {
+		t.Fatalf("cache hits %d, want %d", st.CacheHits, callers)
+	}
+	if st.Waves != 1 {
+		t.Fatalf("waves %d, want 1 (the warm-up wave)", st.Waves)
+	}
+}
+
+// TestCacheSearchHonorsCancellation: a pre-cancelled context fails fast
+// with ctx.Err() even when the answer is sitting warm in the cache.
+func TestCacheSearchHonorsCancellation(t *testing.T) {
+	db, err := swdual.GenerateDatabase("UniProt", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := swdual.GenerateQueries("standard", 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := swdual.NewSearcher(db, swdual.Options{CPUs: 1, TopK: 3, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Search(context.Background(), queries, swdual.SearchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Search(ctx, queries, swdual.SearchOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled search returned %v, want context.Canceled", err)
 	}
 }
