@@ -516,3 +516,51 @@ type nopWarp struct{}
 
 func (nopWarp) Run()           {}
 func (nopWarp) Cycles() uint64 { return 1000 }
+
+// BenchmarkReplicatedSearch prices the replication facade: the same
+// cluster-serve scatter/gather with one replica per range (plain
+// failover-capable routing) and with two (failover plus hedge
+// machinery armed). Hits are byte-identical in every configuration —
+// the replica suite proves it — so the delta is the availability
+// layer's overhead on the happy path.
+func BenchmarkReplicatedSearch(b *testing.B) {
+	db, queries := benchSearchData(b)
+	const shards = 2
+	opt := swdual.Options{CPUs: 1, GPUs: 1, TopK: 5, ShardSplit: "balanced"}
+	for _, replicas := range []int{1, 2} {
+		b.Run(fmt.Sprintf("shards=%d/replicas=%d", shards, replicas), func(b *testing.B) {
+			groups := make([][]string, shards)
+			var listeners []net.Listener
+			for i := 0; i < shards; i++ {
+				for r := 0; r < replicas; r++ {
+					l, err := net.Listen("tcp", "127.0.0.1:0")
+					if err != nil {
+						b.Fatal(err)
+					}
+					listeners = append(listeners, l)
+					groups[i] = append(groups[i], l.Addr().String())
+					go swdual.ServeShard(l, db, i, shards, opt)
+				}
+			}
+			defer func() {
+				for _, l := range listeners {
+					l.Close()
+				}
+			}()
+			coordOpt := opt
+			coordOpt.ReplicaShards = groups
+			s, err := swdual.NewSearcher(db, coordOpt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Search(ctx, queries, swdual.SearchOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -21,6 +21,15 @@
 //	swdual -db db.fasta -shard-serve :4017 -shard-index 1 -shard-count 2
 //	swdual -db db.fasta -query q.fasta -remote-shards host:4016,host:4017
 //
+// With -replica-shards each range is held by several interchangeable
+// shard servers (semicolons separate ranges, commas separate replicas):
+// the coordinator fails over on lost connections, re-dials dead
+// replicas in the background, and hedges slow searches on a sibling, so
+// a search survives any one replica dying per range:
+//
+//	swdual -db db.fasta -query q.fasta \
+//	    -replica-shards 'a:4016,b:4016;a:4017,b:4017' -dial-timeout 5s
+//
 // Serve mode loads the database once, keeps the worker pool alive, and
 // answers every client over the wire protocol; queries from concurrent
 // clients coalesce into shared scheduling waves.
@@ -65,6 +74,8 @@ func main() {
 		shardIndex = flag.Int("shard-index", 0, "which shard -shard-serve exposes")
 		shardCount = flag.Int("shard-count", 1, "how many shards the database is split into for -shard-serve")
 		remShards  = flag.String("remote-shards", "", "comma-separated shard server addresses; search as the coordinator, scattering over them")
+		repShards  = flag.String("replica-shards", "", "replicated shard servers: semicolons separate shard ranges, commas separate replicas of one range, e.g. 'a:4016,b:4016;a:4017,b:4017' (each replica runs -shard-serve for its range; overrides -remote-shards)")
+		dialTO     = flag.Duration("dial-timeout", 0, "bound on dialing one shard or replica server, TCP connect plus handshake (0 = default 10s)")
 	)
 	flag.Parse()
 
@@ -86,6 +97,12 @@ func main() {
 	if *remShards != "" {
 		opt.RemoteShards = strings.Split(*remShards, ",")
 	}
+	if *repShards != "" {
+		for _, group := range strings.Split(*repShards, ";") {
+			opt.ReplicaShards = append(opt.ReplicaShards, strings.Split(group, ","))
+		}
+	}
+	opt.DialTimeout = *dialTO
 
 	if *remote != "" {
 		if *qPath == "" {

@@ -232,6 +232,19 @@ type Stats struct {
 	ProfileHits      uint64
 	ProfileMisses    uint64
 	ProfileEvictions uint64
+	// Replication counters (internal/replica; always zero on a plain
+	// engine). FailedOver counts calls retried on a sibling replica
+	// after the first choice failed with a lost connection;
+	// HedgedSearches counts searches that issued a duplicate to a
+	// second replica because the first ran past the latency threshold;
+	// Redials counts dead replicas brought back by the background
+	// reconnect loop. Under sharding they sum across every range's
+	// replica set, and they cross the wire in StatsResponse, so a
+	// cluster operator sees how often availability machinery actually
+	// fired.
+	HedgedSearches uint64
+	FailedOver     uint64
+	Redials        uint64
 	// Workers snapshots each worker's advertised vs observed throughput
 	// at the moment Stats was called — the rates the next scheduling
 	// wave will be planned with. On a sharded Searcher the names are

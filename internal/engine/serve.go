@@ -264,6 +264,9 @@ func (m *muxSession) handle(msg any) (done bool) {
 			ProfileHits:       st.ProfileHits,
 			ProfileMisses:     st.ProfileMisses,
 			ProfileEvictions:  st.ProfileEvictions,
+			HedgedSearches:    st.HedgedSearches,
+			FailedOver:        st.FailedOver,
+			Redials:           st.Redials,
 			Workers:           make([]wire.WorkerRateInfo, len(st.Workers)),
 		}
 		for i, w := range st.Workers {

@@ -1,0 +1,105 @@
+package remote
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/engine"
+	"swdual/internal/master"
+	"swdual/internal/synth"
+)
+
+// Regression: Dial used net.Dial with no deadline, so a server that
+// accepted the TCP connection but never answered the handshake — a hung
+// process, a half-configured load balancer — blocked the caller
+// forever. DialTimeout must bound the whole dial, TCP connect and
+// handshake both.
+
+// silentListener accepts connections and never writes a byte.
+func silentListener(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var conns []net.Conn
+	go func() {
+		for {
+			nc, err := l.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, nc)
+			mu.Unlock()
+		}
+	}()
+	return l.Addr().String(), func() {
+		l.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		for _, nc := range conns {
+			nc.Close()
+		}
+	}
+}
+
+func TestDialTimeoutOnSilentServer(t *testing.T) {
+	addr, stop := silentListener(t)
+	defer stop()
+
+	start := time.Now()
+	_, err := DialTimeout(addr, 0, 300*time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dial against a silent server succeeded")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("dial took %v — the timeout did not bound the handshake", elapsed)
+	}
+	if !strings.Contains(err.Error(), addr) {
+		t.Fatalf("dial error does not name the address: %v", err)
+	}
+}
+
+func TestDialTimeoutZeroUsesDefault(t *testing.T) {
+	// A non-positive timeout must fall back to the default rather than
+	// dial with an already-expired deadline.
+	addr, stop := silentListener(t)
+	stop() // close immediately: connection refused is instant
+	if _, err := DialTimeout(addr, 0, -1); err == nil {
+		t.Fatal("dial to a closed listener succeeded")
+	}
+}
+
+func TestDialTimeoutLeavesConnectionUndeadlined(t *testing.T) {
+	// The handshake deadline must be cleared once the backend is up: a
+	// connection that kept the dial deadline would kill the first
+	// search slower than the dial budget. Pin a search well past the
+	// dial timeout and require it to succeed.
+	db := synth.RandomSet(alphabet.Protein, 8, 10, 40, 5901)
+	queries := synth.RandomSet(alphabet.Protein, 1, 20, 30, 5902)
+	gw := newGateWorker()
+	srv := startKillableServer(t, db, engine.Config{
+		Workers: []master.Worker{gw}, TopK: 3, Policy: master.PolicySelfScheduling,
+	})
+	b, err := DialTimeout(srv.addr(), db.Checksum(), 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	go func() {
+		<-gw.started
+		time.Sleep(600 * time.Millisecond) // well past the dial budget
+		close(gw.release)
+	}()
+	if _, err := b.Search(context.Background(), queries, engine.SearchOptions{}); err != nil {
+		t.Fatalf("search slower than the dial timeout failed: %v", err)
+	}
+}

@@ -287,3 +287,71 @@ func TestDialBackendsDoNotLeakGoroutines(t *testing.T) {
 	}
 	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
 }
+
+// TestTwoShardDeathsAttributeTheRealCause kills two shard servers in
+// the same scatter. Regression: the gather used to return whichever
+// error it saw first, so a shard canceled collaterally (context
+// canceled after a sibling's real failure) could mask the root cause.
+// Whichever shard loses the race, the surfaced error must name a shard
+// and carry the lost connection — never a bare context error.
+func TestTwoShardDeathsAttributeTheRealCause(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		db := synth.RandomSet(alphabet.Protein, 18, 10, 60, int64(6001+round))
+		queries := synth.RandomSet(alphabet.Protein, 3, 20, 50, int64(6101+round))
+		gw0, gw1 := newGateWorker(), newGateWorker()
+		ranges := shard.RangesFor(db, 3, shard.Contiguous)
+		eng0, err := engine.New(db.Slice(ranges[0].Lo, ranges[0].Hi), engine.Config{CPUs: 1, GPUs: 0, TopK: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv1 := startKillableServer(t, db.Slice(ranges[1].Lo, ranges[1].Hi), engine.Config{
+			Workers: []master.Worker{gw0}, TopK: 3, Policy: master.PolicySelfScheduling,
+		})
+		srv2 := startKillableServer(t, db.Slice(ranges[2].Lo, ranges[2].Hi), engine.Config{
+			Workers: []master.Worker{gw1}, TopK: 3, Policy: master.PolicySelfScheduling,
+		})
+		rb1, err := Dial(srv1.addr(), db.Slice(ranges[1].Lo, ranges[1].Hi).Checksum())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb2, err := Dial(srv2.addr(), db.Slice(ranges[2].Lo, ranges[2].Hi).Checksum())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := shard.WithBackends(db, shard.Contiguous, ranges, []engine.Backend{eng0, rb1, rb2}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		done := make(chan error, 1)
+		go func() {
+			_, err := s.Search(context.Background(), queries, engine.SearchOptions{})
+			done <- err
+		}()
+		<-gw0.started
+		<-gw1.started // both remote shards provably hold the search
+		srv1.kill()
+		srv2.kill()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("search succeeded though two shard servers died")
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, "connection lost") {
+				t.Fatalf("round %d: surfaced error is not the root cause: %v", round, err)
+			}
+			if !strings.Contains(msg, "shard 1") && !strings.Contains(msg, "shard 2") {
+				t.Fatalf("round %d: error does not attribute a shard: %v", round, err)
+			}
+			if err == context.Canceled || strings.HasPrefix(msg, "context canceled") {
+				t.Fatalf("round %d: collateral cancellation masked the cause: %v", round, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("coordinator hung on dead shard servers")
+		}
+		close(gw0.release)
+		close(gw1.release)
+		s.Close()
+	}
+}

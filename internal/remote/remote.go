@@ -12,6 +12,7 @@ package remote
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -61,17 +62,47 @@ var _ engine.Backend = (*Backend)(nil)
 // subsecond work; only a stalled peer ever gets near it.
 const rpcTimeout = 30 * time.Second
 
+// DefaultDialTimeout bounds Dial — TCP connect plus the whole
+// handshake (Hello/Welcome and the Info exchange). A blackholed
+// endpoint, or one that accepts the connection and then never speaks,
+// must fail the dial instead of hanging coordinator construction.
+const DefaultDialTimeout = 10 * time.Second
+
+// ErrConnectionLost marks every failure caused by the connection to the
+// shard server going away — the read loop dying, a send on a closed
+// socket, a call finding the session already down. Failover layers
+// (internal/replica) match it with errors.Is to distinguish "this
+// replica is gone, try another" from errors that would fail identically
+// on every replica (bad queries, alphabet mismatch, cancellation).
+var ErrConnectionLost = errors.New("connection lost")
+
 // Dial connects to an engine.Serve endpoint and fetches the database
 // description (alphabet, sequence lengths, checksum). A non-zero
 // wantChecksum is the skew guard: both ends verify it against the
 // server's database and the dial fails on mismatch, so a coordinator
 // never scatters queries to a shard holding different sequences.
+// Connect and handshake together are bounded by DefaultDialTimeout;
+// use DialTimeout to choose the bound.
 func Dial(addr string, wantChecksum uint32) (*Backend, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, wantChecksum, DefaultDialTimeout)
+}
+
+// DialTimeout is Dial with an explicit bound covering the TCP connect
+// and the handshake (timeout <= 0 selects DefaultDialTimeout). The
+// bound exists for the server that is reachable but wedged: a listener
+// that accepts and never completes the handshake would otherwise hang
+// the caller forever.
+func DialTimeout(addr string, wantChecksum uint32, timeout time.Duration) (*Backend, error) {
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	d := net.Dialer{Deadline: deadline}
+	nc, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote %s: %w", addr, err)
 	}
-	b, err := newBackend(addr, nc, wantChecksum)
+	b, err := newBackend(addr, nc, wantChecksum, deadline)
 	if err != nil {
 		nc.Close()
 		return nil, err
@@ -79,15 +110,23 @@ func Dial(addr string, wantChecksum uint32) (*Backend, error) {
 	return b, nil
 }
 
-// newBackend runs the handshake and the synchronous Info exchange, then
-// starts the read loop.
-func newBackend(addr string, nc net.Conn, wantChecksum uint32) (*Backend, error) {
+// newBackend runs the handshake and the synchronous Info exchange under
+// the dial deadline, then clears the deadline and starts the read loop.
+func newBackend(addr string, nc net.Conn, wantChecksum uint32, deadline time.Time) (*Backend, error) {
 	b := &Backend{
 		addr:     addr,
 		nc:       nc,
 		c:        wire.NewConn(nc),
 		pending:  map[uint64]chan any{},
 		readDone: make(chan struct{}),
+	}
+	// The dial deadline covers the whole handshake: every Send and Recv
+	// below fails once it passes, so a server that accepted the
+	// connection and went mute cannot wedge the caller.
+	if !deadline.IsZero() {
+		if err := nc.SetDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("remote %s: %w", addr, err)
+		}
 	}
 	if err := b.c.Send(&wire.Hello{Version: wire.Version, Name: "remote", DBChecksum: wantChecksum}); err != nil {
 		return nil, fmt.Errorf("remote %s: %w", addr, err)
@@ -130,6 +169,11 @@ func newBackend(addr string, nc net.Conn, wantChecksum uint32) (*Backend, error)
 	for i, l := range info.Lengths {
 		b.lengths[i] = int(l)
 	}
+	// Clear the deadline before the read loop starts: a session lives
+	// arbitrarily long, and per-call bounds come from caller contexts.
+	if err := nc.SetDeadline(time.Time{}); err != nil {
+		return nil, fmt.Errorf("remote %s: %w", addr, err)
+	}
 	go b.read()
 	return b, nil
 }
@@ -166,7 +210,7 @@ func (b *Backend) read() {
 	for {
 		msg, err := b.c.Recv()
 		if err != nil {
-			b.down(fmt.Errorf("remote %s: connection lost: %w", b.addr, err))
+			b.down(fmt.Errorf("remote %s: %w: %v", b.addr, ErrConnectionLost, err))
 			return
 		}
 		id, ok := responseID(msg)
@@ -219,14 +263,16 @@ func (b *Backend) down(err error) {
 	close(b.readDone)
 }
 
-// lostErr reports why the connection is unusable.
+// lostErr reports why the connection is unusable. The error always
+// matches ErrConnectionLost: down() wraps the sentinel into readErr,
+// and a session torn down by Close gets the bare form here.
 func (b *Backend) lostErr() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.readErr != nil {
 		return b.readErr
 	}
-	return fmt.Errorf("remote %s: connection lost", b.addr)
+	return fmt.Errorf("remote %s: %w", b.addr, ErrConnectionLost)
 }
 
 func (b *Backend) send(msg any) error {
@@ -257,7 +303,10 @@ func (b *Backend) call(ctx context.Context, id uint64, req any) (any, error) {
 	}
 	if err := b.send(req); err != nil {
 		retire()
-		return nil, fmt.Errorf("remote %s: %w", b.addr, err)
+		// A failed send means the socket is gone (our own frames always
+		// marshal); report it as the connection loss it is so failover
+		// layers recognize it.
+		return nil, fmt.Errorf("remote %s: %w: %v", b.addr, ErrConnectionLost, err)
 	}
 	select {
 	case resp := <-ch:
@@ -392,6 +441,9 @@ func (b *Backend) Stats() engine.Stats {
 		ProfileHits:       m.ProfileHits,
 		ProfileMisses:     m.ProfileMisses,
 		ProfileEvictions:  m.ProfileEvictions,
+		HedgedSearches:    m.HedgedSearches,
+		FailedOver:        m.FailedOver,
+		Redials:           m.Redials,
 	}
 	for _, w := range m.Workers {
 		st.Workers = append(st.Workers, engine.WorkerRate{

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -214,5 +215,82 @@ func TestReport(t *testing.T) {
 	}
 	if rep.Policy != master.PolicyDualApprox {
 		t.Fatalf("policy %v", rep.Policy)
+	}
+}
+
+// TestFlightFollowerCancelRace stress-tests the window between the
+// leader's Finish and a follower's Wait wakeup when the follower's
+// context is cancelled at the same instant. The follower must observe
+// exactly one of two outcomes — its own context error, or the complete
+// published result — never a torn mix (partial hits, or hits alongside
+// a context error). The happens-before edge is Finish's channel close;
+// this pins it under the race detector.
+func TestFlightFollowerCancelRace(t *testing.T) {
+	const rounds = 500
+	const followers = 4
+	want := hitsFor(8)
+	for round := 0; round < rounds; round++ {
+		f := NewFlight()
+		key := fmt.Sprintf("k%d", round)
+		leader, isLeader := f.Join(key)
+		if !isLeader {
+			t.Fatal("first join was not leader")
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < followers; i++ {
+			c, isLeader := f.Join(key)
+			if isLeader {
+				t.Fatal("follower join became leader")
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			wg.Add(2)
+			go func() { // cancel races Finish
+				defer wg.Done()
+				cancel()
+			}()
+			go func() {
+				defer wg.Done()
+				hits, err := c.Wait(ctx)
+				switch {
+				case err == nil:
+					// Complete result: every query's hits, intact.
+					if len(hits) != len(want) {
+						t.Errorf("torn result: %d hit lists, want %d", len(hits), len(want))
+						return
+					}
+					for qi := range want {
+						if len(hits[qi]) != len(want[qi]) || hits[qi][0] != want[qi][0] {
+							t.Errorf("torn hits for query %d: %+v", qi, hits[qi])
+							return
+						}
+					}
+				case errors.Is(err, context.Canceled):
+					if hits != nil {
+						t.Errorf("context error delivered with hits attached")
+					}
+				default:
+					t.Errorf("unexpected wait error: %v", err)
+				}
+			}()
+		}
+		// Finish with a fresh copy each round, as the engine's leader
+		// path does: followers share it as immutable.
+		f.Finish(key, leader, CopyHits(want), nil)
+		wg.Wait()
+	}
+}
+
+// TestFlightLateJoinAfterFinish: a Join that loses the race against
+// Finish must become a fresh leader, not wait forever on a retired
+// call.
+func TestFlightLateJoinAfterFinish(t *testing.T) {
+	f := NewFlight()
+	c, leader := f.Join("k")
+	if !leader {
+		t.Fatal("first join not leader")
+	}
+	f.Finish("k", c, hitsFor(1), nil)
+	if _, leader := f.Join("k"); !leader {
+		t.Fatal("join after finish did not start a fresh flight")
 	}
 }

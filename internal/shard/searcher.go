@@ -257,6 +257,12 @@ func (s *Searcher) Stats() engine.Stats {
 		agg.ProfileHits += st.ProfileHits
 		agg.ProfileMisses += st.ProfileMisses
 		agg.ProfileEvictions += st.ProfileEvictions
+		// Replication counters: a backend may be a replica.Set facade,
+		// whose hedges, failovers and redials roll up here so one Stats
+		// call shows availability events across every range.
+		agg.HedgedSearches += st.HedgedSearches
+		agg.FailedOver += st.FailedOver
+		agg.Redials += st.Redials
 		for _, w := range st.Workers {
 			w.Name = fmt.Sprintf("shard%d/%s", si, w.Name)
 			agg.Workers = append(agg.Workers, w)
@@ -364,13 +370,29 @@ func (s *Searcher) scatter(ctx context.Context, queries *seq.Set, topK int) (*ma
 	defer cancelScatter()
 	reps := make([]*master.Report, len(s.backends))
 	errs := make([]error, len(s.backends))
+	// The root cause is pinned at the moment it happens, not recovered
+	// by scanning errs afterwards: when two shards fail in the same
+	// scatter, an index-order scan could blame a shard whose only
+	// failure was collateral cancellation, or pick different winners on
+	// different runs. The first non-collateral error to reach the lock
+	// wins, together with the index of the shard that raised it.
+	var failMu sync.Mutex
+	var failErr error
+	failIdx := -1
 	var wg sync.WaitGroup
 	for i := range s.backends {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			reps[i], errs[i] = s.backends[i].Search(scatterCtx, queries, engine.SearchOptions{TopK: topK})
-			if errs[i] != nil {
+			if err := errs[i]; err != nil {
+				if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+					failMu.Lock()
+					if failErr == nil {
+						failErr, failIdx = err, i
+					}
+					failMu.Unlock()
+				}
 				cancelScatter()
 			}
 		}(i)
@@ -379,29 +401,21 @@ func (s *Searcher) scatter(ctx context.Context, queries *seq.Set, topK int) (*ma
 	if err := ctx.Err(); err != nil {
 		return nil, err // the caller's own cancellation wins
 	}
-	var collateral error
-	for i, err := range errs {
-		if err == nil {
-			continue
+	if failErr != nil {
+		// ErrClosed passes through untouched (callers compare against
+		// it); anything else — notably a lost remote connection or an
+		// exhausted replica set — names the failing shard.
+		if errors.Is(failErr, engine.ErrClosed) {
+			return nil, failErr
 		}
-		// Context errors here are collateral from cancelScatter (the
-		// caller's ctx was checked above); keep looking for the root
-		// cause. ErrClosed passes through untouched (callers compare
-		// against it); anything else — notably a lost remote connection —
-		// names the failing shard.
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			if collateral == nil {
-				collateral = err
-			}
-			continue
-		}
-		if errors.Is(err, engine.ErrClosed) {
+		return nil, fmt.Errorf("shard %d [%d,%d): %w", failIdx, s.ranges[failIdx].Lo, s.ranges[failIdx].Hi, failErr)
+	}
+	// Only collateral context errors remain: every recorded error came
+	// from cancelScatter (the caller's own ctx was checked above).
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
-		return nil, fmt.Errorf("shard %d [%d,%d): %w", i, s.ranges[i].Lo, s.ranges[i].Hi, err)
-	}
-	if collateral != nil {
-		return nil, collateral
 	}
 	return s.gather(queries, reps, topK, start), nil
 }

@@ -41,6 +41,7 @@ func FuzzUnmarshal(f *testing.F) {
 		PipelinedWaves: 4, OverlapNanos: 987654321,
 		CacheHits: 11, CacheMisses: 12, CacheEvictions: 13, CollapsedSearches: 14,
 		ProfileEntries: 15, ProfileHits: 16, ProfileMisses: 17, ProfileEvictions: 18,
+		HedgedSearches: 19, FailedOver: 20, Redials: 21,
 		Workers: []WorkerRateInfo{{Name: "gpu-0", Kind: 1, AdvertisedGCUPS: 24.8, ObservedGCUPS: math.NaN(), Tasks: 7}, {Name: "", Kind: 0}}})
 	seed(&PlanRequest{ID: 3, QueryLens: []uint32{30, 80, 120}})
 	seed(&PlanResponse{ID: 3, Algorithm: "dual-approx", Makespan: 1.5, CPULoads: []float64{1.5, 1.25}, GPULoads: []float64{math.NaN()}})
@@ -68,10 +69,10 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add(TypeReqError, append(make([]byte, 8), 0xff, 0xff, 'x'))
 	f.Add(TypeStatsResponse, make([]byte, 10))
 	// StatsResponse whose trailing worker count lies about the payload
-	// (the fixed fields occupy exactly 140 bytes since the cache and
-	// profile counters joined, so the appended u32 is read as the
-	// worker count).
-	f.Add(TypeStatsResponse, append(make([]byte, 140), 0xff, 0xff, 0xff, 0x7f))
+	// (the fixed fields occupy exactly 164 bytes since the replication
+	// counters joined the cache and profile counters, so the appended
+	// u32 is read as the worker count).
+	f.Add(TypeStatsResponse, append(make([]byte, 164), 0xff, 0xff, 0xff, 0x7f))
 	f.Add(TypePlanRequest, append(make([]byte, 8), 0xff, 0xff, 0xff, 0xff))
 	f.Add(TypePlanResponse, append(make([]byte, 10), 0xff, 0xff, 0xff, 0x7f))
 	f.Add(TypeInfo, append(make([]byte, 8), 0, 0, 0xde, 0xad, 0xbe, 0xef, 0xff, 0xff, 0xff, 0xff))

@@ -28,7 +28,10 @@ const (
 	// through ProfileEvictions) before the worker list in
 	// StatsResponse, shifting the list; version-3 peers are rejected at
 	// handshake, not mid-session on a stats poll.
-	Version = 4
+	// 5 added the replication counters (HedgedSearches, FailedOver,
+	// Redials) before the worker list in StatsResponse, again shifting
+	// the list; version-4 peers are rejected at handshake.
+	Version = 5
 	// MaxFrame bounds a frame payload (64 MiB) to fail fast on corrupt
 	// length prefixes.
 	MaxFrame = 64 << 20
@@ -189,7 +192,13 @@ type StatsResponse struct {
 	ProfileHits      uint64
 	ProfileMisses    uint64
 	ProfileEvictions uint64
-	Workers          []WorkerRateInfo
+	// Replication counters (version 5): hedges issued, failovers taken
+	// and successful redials across the server's replica sets. All zero
+	// when the server fronts a plain engine.
+	HedgedSearches uint64
+	FailedOver     uint64
+	Redials        uint64
+	Workers        []WorkerRateInfo
 }
 
 // PlanRequest asks the server to run its scheduling policy over
@@ -366,6 +375,9 @@ func Marshal(msg any) (byte, []byte, error) {
 		e.u64(m.ProfileHits)
 		e.u64(m.ProfileMisses)
 		e.u64(m.ProfileEvictions)
+		e.u64(m.HedgedSearches)
+		e.u64(m.FailedOver)
+		e.u64(m.Redials)
 		e.u32(uint32(len(m.Workers)))
 		for _, w := range m.Workers {
 			e.str(w.Name)
@@ -574,6 +586,9 @@ func Unmarshal(typ byte, payload []byte) (any, error) {
 		m.ProfileHits = d.u64()
 		m.ProfileMisses = d.u64()
 		m.ProfileEvictions = d.u64()
+		m.HedgedSearches = d.u64()
+		m.FailedOver = d.u64()
+		m.Redials = d.u64()
 		n := d.u32()
 		if d.err != nil {
 			return nil, d.err

@@ -180,6 +180,7 @@ func TestStatsResponseRoundTrip(t *testing.T) {
 		ID: 9, DBSequences: 10, DBResidues: 1234, DBChecksum: 0xfeed,
 		Prepared: 1, WorkersStarted: 3, Searches: 4, Queries: 5, Waves: 6, BatchedWaves: 2,
 		PipelinedWaves: 3, OverlapNanos: 1_500_000,
+		HedgedSearches: 7, FailedOver: 2, Redials: 1,
 		Workers: []WorkerRateInfo{
 			{Name: "gpu-0", Kind: 1, AdvertisedGCUPS: 24.8, ObservedGCUPS: 31.5, Tasks: 12},
 			{Name: "cpu-0", Kind: 0, AdvertisedGCUPS: 8.335, ObservedGCUPS: 7.9, Tasks: 4},

@@ -8,6 +8,7 @@ import (
 
 	"swdual/internal/engine"
 	"swdual/internal/remote"
+	"swdual/internal/replica"
 	"swdual/internal/shard"
 )
 
@@ -29,7 +30,9 @@ import (
 // results stay byte-identical to the unsharded engine. With
 // Options.RemoteShards the same scatter/gather runs over the network:
 // every shard is a serve process (see ServeShard) and this process is
-// the coordinator.
+// the coordinator. With Options.ReplicaShards every range is held by
+// several interchangeable servers behind a failover/hedging facade, so
+// a search survives a replica dying mid-flight.
 type Searcher struct {
 	inner  engine.Backend
 	db     *Database
@@ -96,8 +99,17 @@ func newSearcher(db *Database, opt Options, batchWindow int) (*Searcher, error) 
 	var inner engine.Backend
 	shards := 1
 	switch {
+	case len(opt.ReplicaShards) > 0:
+		sh, err := dialReplicaShards(db, opt.ReplicaShards, strategy, cfg.TopK, opt.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		if opt.Cache {
+			sh.EnableCache(opt.CacheSize, opt.CacheBytes)
+		}
+		inner, shards = sh, sh.Shards()
 	case len(opt.RemoteShards) > 0:
-		sh, err := dialRemoteShards(db, opt.RemoteShards, strategy, cfg.TopK)
+		sh, err := dialRemoteShards(db, opt.RemoteShards, strategy, cfg.TopK, opt.DialTimeout)
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +145,7 @@ func newSearcher(db *Database, opt Options, batchWindow int) (*Searcher, error) 
 // split the local database the same way the shard servers did, dial each
 // address with the expected slice checksum (the skew guard), and wrap
 // the connections in the scatter/gather facade.
-func dialRemoteShards(db *Database, addrs []string, strategy shard.Strategy, topK int) (*shard.Searcher, error) {
+func dialRemoteShards(db *Database, addrs []string, strategy shard.Strategy, topK int, dialTimeout time.Duration) (*shard.Searcher, error) {
 	ranges := shard.RangesFor(db.set, len(addrs), strategy)
 	backends := make([]engine.Backend, 0, len(addrs))
 	fail := func(err error) (*shard.Searcher, error) {
@@ -144,11 +156,71 @@ func dialRemoteShards(db *Database, addrs []string, strategy shard.Strategy, top
 	}
 	for i, addr := range addrs {
 		want := db.set.Slice(ranges[i].Lo, ranges[i].Hi).Checksum()
-		b, err := remote.Dial(addr, want)
+		b, err := remote.DialTimeout(addr, want, dialTimeout)
 		if err != nil {
 			return fail(fmt.Errorf("swdual: shard %d [%d,%d): %w", i, ranges[i].Lo, ranges[i].Hi, err))
 		}
 		backends = append(backends, b)
+	}
+	sh, err := shard.WithBackends(db.set, strategy, ranges, backends, topK)
+	if err != nil {
+		return fail(err)
+	}
+	return sh, nil
+}
+
+// dialReplicaShards assembles the replicated coordinator: each range's
+// addresses are dialed with the slice checksum as the skew guard and
+// wrapped in a replica.Set — the facade that fails over, re-dials and
+// hedges — and the sets feed the same scatter/gather as plain remote
+// shards. A replica that is down at construction is tolerated (its set
+// starts re-dialing immediately) as long as at least one replica of the
+// range answers.
+func dialReplicaShards(db *Database, groups [][]string, strategy shard.Strategy, topK int, dialTimeout time.Duration) (*shard.Searcher, error) {
+	ranges := shard.RangesFor(db.set, len(groups), strategy)
+	backends := make([]engine.Backend, 0, len(groups))
+	fail := func(err error) (*shard.Searcher, error) {
+		for _, b := range backends {
+			b.Close()
+		}
+		return nil, err
+	}
+	for i, addrs := range groups {
+		if len(addrs) == 0 {
+			return fail(fmt.Errorf("swdual: shard %d has no replica addresses", i))
+		}
+		want := db.set.Slice(ranges[i].Lo, ranges[i].Hi).Checksum()
+		reps := make([]replica.Replica, 0, len(addrs))
+		var firstErr error
+		for _, addr := range addrs {
+			redial := func() (engine.Backend, error) {
+				return remote.DialTimeout(addr, want, dialTimeout)
+			}
+			b, err := remote.DialTimeout(addr, want, dialTimeout)
+			if err != nil {
+				// Down at startup: the set's redial loop keeps trying.
+				if firstErr == nil {
+					firstErr = err
+				}
+				reps = append(reps, replica.Replica{Redial: redial})
+				continue
+			}
+			reps = append(reps, replica.Replica{Backend: b, Redial: redial})
+		}
+		name := fmt.Sprintf("shard %d [%d,%d)", i, ranges[i].Lo, ranges[i].Hi)
+		set, err := replica.NewSet(name, want, reps, replica.Config{})
+		if err != nil {
+			for _, r := range reps {
+				if r.Backend != nil {
+					r.Backend.Close()
+				}
+			}
+			if firstErr != nil {
+				err = fmt.Errorf("%w (first dial error: %v)", err, firstErr)
+			}
+			return fail(fmt.Errorf("swdual: %w", err))
+		}
+		backends = append(backends, set)
 	}
 	sh, err := shard.WithBackends(db.set, strategy, ranges, backends, topK)
 	if err != nil {

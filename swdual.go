@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"swdual/internal/alphabet"
 	"swdual/internal/engine"
@@ -94,6 +95,23 @@ type Options struct {
 	// stay byte-identical to an unsharded search. When set, Shards is
 	// ignored.
 	RemoteShards []string
+	// ReplicaShards backs each shard range with several interchangeable
+	// serve processes: ReplicaShards[i] lists the addresses of the
+	// servers for slice i, every one running ServeShard for that same
+	// slice (verified by checksum at dial — replicas proven identical is
+	// what makes failover and hedging answer-preserving). Searches route
+	// to one replica per range; a replica whose connection dies is
+	// failed over, re-dialed in the background with capped backoff, and
+	// searches running past an adaptive latency threshold are hedged on
+	// a sibling, first answer wins. Hits stay byte-identical to an
+	// unsharded search. A replica that is down at construction is
+	// tolerated as long as at least one replica of its range is up. When
+	// set, RemoteShards and Shards are ignored.
+	ReplicaShards [][]string
+	// DialTimeout bounds dialing one remote shard or replica — TCP
+	// connect and protocol handshake together — so a hung server cannot
+	// block construction forever. 0 selects the default (10s).
+	DialTimeout time.Duration
 	// Cache enables the result cache with singleflight collapsing: a
 	// repeated search (same query residues, same TopK, same database)
 	// is answered from a bounded LRU without running a scheduling wave,

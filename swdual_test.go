@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"swdual"
 )
@@ -746,5 +747,123 @@ func TestCacheSearchHonorsCancellation(t *testing.T) {
 	cancel()
 	if _, err := s.Search(ctx, queries, swdual.SearchOptions{}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("pre-cancelled search returned %v, want context.Canceled", err)
+	}
+}
+
+// TestReplicaShardedSearcherMatchesUnsharded is the public replication
+// acceptance test: two ranges, each served by two interchangeable
+// ServeShard processes, behind a coordinator built with
+// Options.ReplicaShards. Hits must be byte-identical to the unsharded
+// search; a replica down at construction must be tolerated as long as
+// its range keeps one live member; a range with every replica dead must
+// be refused with an error naming it.
+func TestReplicaShardedSearcherMatchesUnsharded(t *testing.T) {
+	const shardCount, replicas = 2, 2
+	db, err := swdual.GenerateDatabase("UniProt", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := swdual.GenerateQueries("standard", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := swdual.Options{CPUs: 1, GPUs: 1, TopK: 5, ShardSplit: "balanced", DialTimeout: 5 * time.Second}
+	want, err := swdual.Search(db, queries, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	groups := make([][]string, shardCount)
+	for i := 0; i < shardCount; i++ {
+		for r := 0; r < replicas; r++ {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			groups[i] = append(groups[i], l.Addr().String())
+			go swdual.ServeShard(l, db, i, shardCount, opt)
+		}
+	}
+
+	coordOpt := opt
+	coordOpt.ReplicaShards = groups
+	s, err := swdual.NewSearcher(db, coordOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != shardCount {
+		t.Fatalf("%d shards, want %d", s.Shards(), shardCount)
+	}
+	got, err := s.Search(context.Background(), queries, swdual.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range got.Results {
+		a, b := got.Results[qi].Hits, want.Results[qi].Hits
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d hits vs %d", qi, len(a), len(b))
+		}
+		for hi := range a {
+			if a[hi] != b[hi] {
+				t.Fatalf("query %d hit %d: %+v vs %+v", qi, hi, a[hi], b[hi])
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An address nobody listens on: reserve a port, then free it.
+	deadAddr := func() string {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := l.Addr().String()
+		l.Close()
+		return addr
+	}
+
+	// One dead replica per range is tolerated: the live sibling carries
+	// the range while the dead one is re-dialed in the background.
+	degraded := coordOpt
+	degraded.ReplicaShards = [][]string{
+		{deadAddr(), groups[0][0]},
+		{groups[1][0], deadAddr()},
+	}
+	s2, err := swdual.NewSearcher(db, degraded)
+	if err != nil {
+		t.Fatalf("coordinator refused a degraded-but-covered cluster: %v", err)
+	}
+	got2, err := s2.Search(context.Background(), queries, swdual.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range got2.Results {
+		a, b := got2.Results[qi].Hits, want.Results[qi].Hits
+		if len(a) != len(b) {
+			t.Fatalf("degraded query %d: %d hits vs %d", qi, len(a), len(b))
+		}
+		for hi := range a {
+			if a[hi] != b[hi] {
+				t.Fatalf("degraded query %d hit %d: %+v vs %+v", qi, hi, a[hi], b[hi])
+			}
+		}
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every replica of a range dead: refused, naming the range.
+	uncovered := coordOpt
+	uncovered.ReplicaShards = [][]string{
+		{groups[0][0], groups[0][1]},
+		{deadAddr(), deadAddr()},
+	}
+	if _, err := swdual.NewSearcher(db, uncovered); err == nil {
+		t.Fatal("coordinator accepted a range with no live replica")
+	} else if !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("uncovered-range error does not name the range: %v", err)
 	}
 }
