@@ -11,6 +11,15 @@
 //	swdual -db db.fasta -serve :4015                # persistent engine
 //	swdual -db db.fasta -serve :4015 -shards 4      # sharded scatter/gather
 //	swdual -remote host:4015 -query q.fasta         # query a served engine
+//	swdual -db db.fasta -gateway :8080              # HTTP/JSON front door
+//
+// The gateway serves POST /v1/search (JSON queries), GET /v1/stats,
+// /healthz and /metrics, with bounded-queue admission control: past
+// -gateway-capacity executing and -gateway-queue waiting requests,
+// arrivals are shed immediately with 429 and a Retry-After estimated
+// from live search latency. It can front any backend below — add
+// -shards, -remote-shards or -replica-shards to put the same HTTP
+// surface over a sharded or replicated cluster.
 //
 // Cluster serve distributes the shards across processes: each shard
 // server holds the same database and serves one slice of it, and a
@@ -70,6 +79,13 @@ func main() {
 		cache    = flag.Bool("cache", false, "cache search results: repeated queries are answered without a scheduling wave and concurrent identical queries collapse into one (hits stay byte-identical)")
 		cacheSz  = flag.Int("cache-size", 0, "max cached search fingerprints with -cache (0 = default 1024)")
 
+		gatewayAddr = flag.String("gateway", "", "serve the database over HTTP/JSON on this address, with admission control and load shedding (POST /v1/search, GET /v1/stats, /healthz, /metrics)")
+		gwCapacity  = flag.Int("gateway-capacity", 0, "concurrently executing gateway searches (0 = default 2×GOMAXPROCS)")
+		gwQueue     = flag.Int("gateway-queue", 0, "admitted gateway requests that may wait for a slot; past capacity+queue arrivals are shed with 429 (0 = default 4×capacity, negative = no queue)")
+		gwClients   = flag.Int("gateway-client-slots", 0, "slots one client (X-API-Key, else remote address) may hold at once (0 = default (capacity+queue)/4)")
+		gwTimeout   = flag.Duration("gateway-timeout", 0, "search deadline for gateway requests that carry none of their own (0 = none)")
+		gwMaxBody   = flag.Int64("gateway-max-body", 0, "max gateway request body in bytes (0 = default 8 MiB)")
+
 		shardServe = flag.String("shard-serve", "", "serve one shard of the database on this address (cluster serve)")
 		shardIndex = flag.Int("shard-index", 0, "which shard -shard-serve exposes")
 		shardCount = flag.Int("shard-count", 1, "how many shards the database is split into for -shard-serve")
@@ -94,6 +110,11 @@ func main() {
 		Cache:      *cache,
 		CacheSize:  *cacheSz,
 	}
+	opt.GatewayCapacity = *gwCapacity
+	opt.GatewayQueue = *gwQueue
+	opt.GatewayClientSlots = *gwClients
+	opt.GatewayTimeout = *gwTimeout
+	opt.GatewayMaxBodyBytes = *gwMaxBody
 	if *remShards != "" {
 		opt.RemoteShards = strings.Split(*remShards, ",")
 	}
@@ -150,19 +171,37 @@ func main() {
 		return
 	}
 
-	if *serve != "" {
+	if *serve != "" || *gatewayAddr != "" {
 		s, err := swdual.NewSearcher(db, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer s.Close()
-		l, err := net.Listen("tcp", *serve)
-		if err != nil {
-			log.Fatal(err)
+		errc := make(chan error, 2)
+		if *gatewayAddr != "" {
+			gw, err := swdual.NewGateway(s, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer gw.Close()
+			gl, err := net.Listen("tcp", *gatewayAddr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("gateway: %d sequences (checksum %08x) over HTTP on %s with %s per shard across %d shard(s)",
+				db.Len(), s.Checksum(), gl.Addr(), workersDesc, s.Shards())
+			go func() { errc <- gw.Serve(gl) }()
 		}
-		log.Printf("serving %d sequences (%d residues, checksum %08x) on %s with %s per shard across %d shard(s)",
-			db.Len(), db.TotalResidues(), s.Checksum(), l.Addr(), workersDesc, s.Shards())
-		if err := s.Serve(l); err != nil {
+		if *serve != "" {
+			l, err := net.Listen("tcp", *serve)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("serving %d sequences (%d residues, checksum %08x) on %s with %s per shard across %d shard(s)",
+				db.Len(), db.TotalResidues(), s.Checksum(), l.Addr(), workersDesc, s.Shards())
+			go func() { errc <- s.Serve(l) }()
+		}
+		if err := <-errc; err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,75 @@
+package swdual
+
+import (
+	"net"
+	"net/http"
+
+	"swdual/internal/gateway"
+)
+
+// Gateway is the HTTP/JSON front door over a Searcher, with admission
+// control and load shedding: up to Options.GatewayCapacity searches
+// execute concurrently, Options.GatewayQueue more may wait, and past
+// that requests are rejected early with 429 and a Retry-After computed
+// from the live search-latency estimate. A per-client slot bound
+// (X-API-Key header, else remote address) keeps one client from
+// occupying the whole queue. Client deadlines — a Request-Timeout
+// header or the timeout_ms body field — propagate into the search
+// context, so abandoned work is never planned into a scheduling wave.
+//
+// Endpoints:
+//
+//	POST /v1/search   search the database (JSON body)
+//	GET  /v1/stats    gateway counters + engine stats as JSON
+//	GET  /healthz     200 while serving, 503 once Close began
+//	GET  /metrics     Prometheus text format
+//
+// The Gateway serves whatever backend the Searcher was built over —
+// in-process, sharded, or a replicated cluster coordinator — and hits
+// stay byte-identical to direct Searcher.Search calls.
+type Gateway struct {
+	inner *gateway.Gateway
+	s     *Searcher
+}
+
+// GatewayCounters is a snapshot of a Gateway's admission and outcome
+// accounting.
+type GatewayCounters = gateway.Counters
+
+// NewGateway wraps s in the HTTP front door tuned by opt's Gateway*
+// fields. The Gateway does not own the Searcher: close the Gateway
+// first (draining in-flight searches), then the Searcher.
+func NewGateway(s *Searcher, opt Options) (*Gateway, error) {
+	if s == nil {
+		return nil, errNilSets
+	}
+	g, err := gateway.New(s.inner, gateway.Config{
+		Capacity:       opt.GatewayCapacity,
+		Queue:          opt.GatewayQueue,
+		ClientSlots:    opt.GatewayClientSlots,
+		DefaultTimeout: opt.GatewayTimeout,
+		MaxBodyBytes:   opt.GatewayMaxBodyBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Gateway{inner: g, s: s}, nil
+}
+
+// ServeHTTP implements http.Handler, so a Gateway can mount under any
+// mux or server of the caller's choosing.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.inner.ServeHTTP(w, r) }
+
+// Serve answers HTTP on l until the listener closes (returns nil then).
+func (g *Gateway) Serve(l net.Listener) error { return g.inner.Serve(l) }
+
+// Counters snapshots the gateway's admission and outcome accounting.
+func (g *Gateway) Counters() GatewayCounters { return g.inner.Counters() }
+
+// Searcher returns the backend the Gateway fronts.
+func (g *Gateway) Searcher() *Searcher { return g.s }
+
+// Close stops admission — new and queued requests get 503 — and blocks
+// until in-flight searches drained. Idempotent; the Searcher stays
+// open.
+func (g *Gateway) Close() error { return g.inner.Close() }

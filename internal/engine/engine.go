@@ -318,6 +318,11 @@ type Searcher struct {
 	pipelinedWaves atomic.Uint64
 	overlapNanos   atomic.Uint64
 	collapsed      atomic.Uint64
+	// admittedReqs counts requests the dispatcher has drained from the
+	// submit channel — the deterministic "this request is now part of a
+	// forming wave" signal the plan-stage cancellation tests synchronize
+	// on (not exported: Stats derives nothing from it).
+	admittedReqs atomic.Uint64
 }
 
 // New prepares the database once and starts the persistent worker pool
@@ -493,13 +498,16 @@ func (s *Searcher) Search(ctx context.Context, queries *seq.Set, opts SearchOpti
 	}
 	s.searches.Add(1)
 	s.queries.Add(uint64(queries.Len()))
-	if s.cache == nil || queries.Len() == 0 {
-		return s.searchWave(ctx, queries, topK)
-	}
-	// A dead context never gets a cached answer: callers rely on
-	// cancellation meaning "stop", warm cache or not.
+	// A dead context never gets an answer — cached, collapsed or waved:
+	// callers rely on cancellation meaning "stop", and a doomed request
+	// must not occupy a wave slot (the gateway propagates client
+	// deadlines down this ctx precisely so expired work is never
+	// planned).
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if s.cache == nil || queries.Len() == 0 {
+		return s.searchWave(ctx, queries, topK)
 	}
 	key := resultcache.Key(s.checksum, topK, queries)
 	if hits, ok := s.cache.Get(key); ok {
@@ -643,6 +651,7 @@ func (s *Searcher) dispatch() {
 // immediately; a positive BatchWindow additionally holds the wave open
 // for late arrivals. Coalescing stops at MaxBatch queries.
 func (s *Searcher) coalesce(first *request) []*request {
+	s.admittedReqs.Add(1)
 	batch := []*request{first}
 	if s.cfg.BatchWindow < 0 {
 		return batch
@@ -651,6 +660,7 @@ func (s *Searcher) coalesce(first *request) []*request {
 	for n < s.cfg.MaxBatch {
 		select {
 		case r := <-s.submit:
+			s.admittedReqs.Add(1)
 			batch = append(batch, r)
 			n += r.queries.Len()
 			continue
@@ -666,6 +676,7 @@ func (s *Searcher) coalesce(first *request) []*request {
 	for n < s.cfg.MaxBatch {
 		select {
 		case r := <-s.submit:
+			s.admittedReqs.Add(1)
 			batch = append(batch, r)
 			n += r.queries.Len()
 		case <-timer.C:
@@ -748,6 +759,26 @@ type wave struct {
 // overlaps the previous wave's execution. On a scheduling error the
 // batch is failed and nil returned.
 func (s *Searcher) planWave(batch []*request) *wave {
+	// Deadline propagation ends here: a request whose ctx died while it
+	// waited to coalesce (or while the previous wave pipelined ahead of
+	// it) is failed now instead of being planned — doomed work never
+	// reaches a worker queue, so an overloaded caller that gave up frees
+	// its wave share instead of wasting it.
+	live := batch[:0]
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.fail(err)
+			for i := 0; i < r.queries.Len(); i++ {
+				r.merge.Skip(i)
+			}
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	batch = live
 	s.waves.Add(1)
 	if len(batch) > 1 {
 		s.batchedWaves.Add(1)

@@ -1,0 +1,423 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/engine"
+	"swdual/internal/master"
+	"swdual/internal/replica"
+	"swdual/internal/seq"
+	"swdual/internal/shard"
+	"swdual/internal/synth"
+)
+
+// waitFor polls cond until it holds or the deadline passes — a bounded
+// convergence loop on observable state, never a fixed sleep, so every
+// test in this package is deterministic in outcome.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func testDB(n int, seed int64) *seq.Set {
+	return synth.RandomSet(alphabet.Protein, n, 10, 80, seed)
+}
+
+func testEngine(t *testing.T, db *seq.Set) *engine.Searcher {
+	t.Helper()
+	e, err := engine.New(db, engine.Config{CPUs: 2, GPUs: 0, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// gateBackend wraps a real backend but holds every Search at the gate:
+// each call announces its ctx on started, then waits for one release
+// token (or its ctx to die) before delegating. Tests use it to pin the
+// gateway's execution slots open deterministically.
+type gateBackend struct {
+	engine.Backend
+	started chan context.Context
+	release chan struct{}
+}
+
+func newGateBackend(inner engine.Backend) *gateBackend {
+	return &gateBackend{
+		Backend: inner,
+		started: make(chan context.Context, 1024),
+		release: make(chan struct{}, 1024),
+	}
+}
+
+func (b *gateBackend) Search(ctx context.Context, queries *seq.Set, opts engine.SearchOptions) (*master.Report, error) {
+	b.started <- ctx
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return b.Backend.Search(ctx, queries, opts)
+}
+
+// newTestGateway builds a gateway over be and serves it on an
+// httptest.Server, both torn down with the test.
+func newTestGateway(t *testing.T, be engine.Backend, cfg Config) (*Gateway, *httptest.Server) {
+	t.Helper()
+	g, err := New(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { g.Close() })
+	return g, srv
+}
+
+// queriesJSON renders a query set as a POST /v1/search body.
+func queriesJSON(t *testing.T, queries *seq.Set, topK int) []byte {
+	t.Helper()
+	req := SearchRequest{TopK: topK}
+	for i := range queries.Seqs {
+		req.Queries = append(req.Queries, Query{
+			ID:       queries.Seqs[i].ID,
+			Residues: queries.Alpha.DecodeString(queries.Seqs[i].Residues),
+		})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// post sends one search and returns the status, decoded body (for
+// 200s), the raw body, and the Retry-After header.
+func post(t *testing.T, client *http.Client, url string, body []byte, header map[string]string) (int, *SearchResponse, []byte, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/search", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr *SearchResponse
+	if resp.StatusCode == http.StatusOK {
+		sr = new(SearchResponse)
+		if err := json.Unmarshal(raw, sr); err != nil {
+			t.Fatalf("200 body did not decode: %v\n%s", err, raw)
+		}
+	}
+	return resp.StatusCode, sr, raw, resp.Header.Get("Retry-After")
+}
+
+// sameHits asserts the gateway's JSON hits are byte-identical (index,
+// id, score, order) to a direct backend report.
+func sameHits(t *testing.T, label string, got *SearchResponse, want *master.Report) {
+	t.Helper()
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("%s: %d results, want %d", label, len(got.Results), len(want.Results))
+	}
+	for qi := range want.Results {
+		wh := want.Results[qi].Hits
+		gh := got.Results[qi].Hits
+		if len(gh) != len(wh) {
+			t.Fatalf("%s: query %d: %d hits, want %d", label, qi, len(gh), len(wh))
+		}
+		for j := range wh {
+			if gh[j].SeqIndex != wh[j].SeqIndex || gh[j].SeqID != wh[j].SeqID || gh[j].Score != wh[j].Score {
+				t.Fatalf("%s: query %d hit %d: got %+v, want %+v", label, qi, j, gh[j], wh[j])
+			}
+		}
+	}
+}
+
+// TestGatewayMatchesDirectSearch proves the acceptance criterion:
+// gateway-served hits are byte-identical to direct Searcher.Search over
+// an in-process engine, a sharded facade, and a replicated set.
+func TestGatewayMatchesDirectSearch(t *testing.T) {
+	db := testDB(40, 900)
+	queries := synth.RandomSet(alphabet.Protein, 3, 20, 60, 901)
+
+	backends := []struct {
+		name  string
+		build func(t *testing.T) engine.Backend
+	}{
+		{"engine", func(t *testing.T) engine.Backend { return testEngine(t, db) }},
+		{"sharded", func(t *testing.T) engine.Backend {
+			s, err := shard.New(db, shard.Config{Shards: 3, Engine: engine.Config{CPUs: 1, GPUs: 1, TopK: 5}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { s.Close() })
+			return s
+		}},
+		{"replicated", func(t *testing.T) engine.Backend {
+			r1 := testEngine(t, db)
+			r2 := testEngine(t, db)
+			set, err := replica.NewSet("range 0", 0, []replica.Replica{{Backend: r1}, {Backend: r2}}, replica.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { set.Close() })
+			return set
+		}},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			be := b.build(t)
+			_, srv := newTestGateway(t, be, Config{Capacity: 4})
+			want, err := be.Search(context.Background(), queries, engine.SearchOptions{TopK: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			code, got, raw, _ := post(t, srv.Client(), srv.URL, queriesJSON(t, queries, 5), nil)
+			if code != http.StatusOK {
+				t.Fatalf("status %d: %s", code, raw)
+			}
+			sameHits(t, b.name, got, want)
+			for qi := range queries.Seqs {
+				if got.Results[qi].ID != queries.Seqs[qi].ID {
+					t.Fatalf("query %d answered as %q", qi, got.Results[qi].ID)
+				}
+			}
+		})
+	}
+}
+
+// TestPerClientFairness pins one client's search at the gate and shows
+// its second request is shed by the per-client bound — with capacity
+// to spare — while a different client is admitted.
+func TestPerClientFairness(t *testing.T) {
+	be := newGateBackend(testEngine(t, testDB(20, 910)))
+	g, srv := newTestGateway(t, be, Config{Capacity: 4, Queue: 4, ClientSlots: 1})
+	body := queriesJSON(t, synth.RandomSet(alphabet.Protein, 1, 20, 40, 911), 0)
+
+	aDone := make(chan int, 1)
+	go func() {
+		code, _, _, _ := post(t, srv.Client(), srv.URL, body, map[string]string{"X-API-Key": "tenant-a"})
+		aDone <- code
+	}()
+	<-be.started // tenant A's first search is executing (pinned)
+
+	code, _, raw, retry := post(t, srv.Client(), srv.URL, body, map[string]string{"X-API-Key": "tenant-a"})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("second tenant-a request: status %d (%s), want 429", code, raw)
+	}
+	if retry == "" {
+		t.Fatal("shed answer missing Retry-After")
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil || er.RetryAfterSeconds < 1 {
+		t.Fatalf("shed body %s (err %v)", raw, err)
+	}
+
+	bDone := make(chan int, 1)
+	go func() {
+		code, _, _, _ := post(t, srv.Client(), srv.URL, body, map[string]string{"X-API-Key": "tenant-b"})
+		bDone <- code
+	}()
+	<-be.started // tenant B admitted despite A's pinned search
+
+	be.release <- struct{}{}
+	be.release <- struct{}{}
+	if code := <-aDone; code != http.StatusOK {
+		t.Fatalf("tenant A first request: %d", code)
+	}
+	if code := <-bDone; code != http.StatusOK {
+		t.Fatalf("tenant B request: %d", code)
+	}
+	c := g.Counters()
+	if c.ShedClient != 1 || c.ShedQueue != 0 || c.Admitted != 2 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+// TestDeadlinePropagatesIntoSearchCtx sends timeouts via the body field
+// and the header and checks the backend's ctx expires — answered 504 —
+// without any release of the gate.
+func TestDeadlinePropagatesIntoSearchCtx(t *testing.T) {
+	be := newGateBackend(testEngine(t, testDB(20, 920)))
+	g, srv := newTestGateway(t, be, Config{Capacity: 2})
+	queries := synth.RandomSet(alphabet.Protein, 1, 20, 40, 921)
+
+	req := SearchRequest{TimeoutMillis: 50}
+	for i := range queries.Seqs {
+		req.Queries = append(req.Queries, Query{Residues: queries.Alpha.DecodeString(queries.Seqs[i].Residues)})
+	}
+	body, _ := json.Marshal(req)
+	code, _, raw, _ := post(t, srv.Client(), srv.URL, body, nil)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("timeout_ms search: status %d (%s), want 504", code, raw)
+	}
+	ctx := <-be.started
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("backend ctx had no deadline")
+	}
+	if ctx.Err() == nil {
+		t.Fatal("backend ctx still alive after 504")
+	}
+
+	code, _, raw, _ = post(t, srv.Client(), srv.URL, queriesJSON(t, queries, 0), map[string]string{"Request-Timeout": "50ms"})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("Request-Timeout search: status %d (%s), want 504", code, raw)
+	}
+	<-be.started
+	if c := g.Counters(); c.TimedOut != 2 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+// TestMalformedRequests table-drives the 4xx surface.
+func TestMalformedRequests(t *testing.T) {
+	_, srv := newTestGateway(t, testEngine(t, testDB(20, 930)), Config{Capacity: 2, MaxBodyBytes: 4096, MaxQueries: 4, MaxQueryResidues: 256})
+	cases := []struct {
+		name   string
+		body   string
+		header map[string]string
+		want   int
+	}{
+		{"bad json", `{"queries":`, nil, http.StatusBadRequest},
+		{"no queries", `{}`, nil, http.StatusBadRequest},
+		{"empty queries", `{"queries":[]}`, nil, http.StatusBadRequest},
+		{"empty residues", `{"queries":[{"residues":""}]}`, nil, http.StatusBadRequest},
+		{"bad residues", `{"queries":[{"residues":"NOT A PROTEIN 123!"}]}`, nil, http.StatusBadRequest},
+		{"negative topk", `{"queries":[{"residues":"MKV"}],"top_k":-1}`, nil, http.StatusBadRequest},
+		{"negative timeout", `{"queries":[{"residues":"MKV"}],"timeout_ms":-5}`, nil, http.StatusBadRequest},
+		{"too many queries", `{"queries":[{"residues":"M"},{"residues":"M"},{"residues":"M"},{"residues":"M"},{"residues":"M"}]}`, nil, http.StatusRequestEntityTooLarge},
+		{"residues over limit", fmt.Sprintf(`{"queries":[{"residues":"%s"}]}`, strings.Repeat("M", 300)), nil, http.StatusRequestEntityTooLarge},
+		{"body over limit", fmt.Sprintf(`{"queries":[{"residues":"%s"}]}`, strings.Repeat("M", 8192)), nil, http.StatusRequestEntityTooLarge},
+		{"bad header timeout", `{"queries":[{"residues":"MKV"}]}`, map[string]string{"Request-Timeout": "soon"}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, raw, _ := post(t, srv.Client(), srv.URL, []byte(c.body), c.header)
+			if code != c.want {
+				t.Fatalf("status %d (%s), want %d", code, raw, c.want)
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(raw, &er); err != nil || er.Error == "" {
+				t.Fatalf("error body %s (err %v)", raw, err)
+			}
+		})
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/search", nil)
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/search: %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestStatsHealthzMetrics drives the observability endpoints after a
+// real search round.
+func TestStatsHealthzMetrics(t *testing.T) {
+	_, srv := newTestGateway(t, testEngine(t, testDB(20, 940)), Config{Capacity: 2})
+	body := queriesJSON(t, synth.RandomSet(alphabet.Protein, 2, 20, 40, 941), 0)
+	if code, _, raw, _ := post(t, srv.Client(), srv.URL, body, nil); code != http.StatusOK {
+		t.Fatalf("search: %d (%s)", code, raw)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(hb) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, hb)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Gateway.Completed != 1 || st.Gateway.Admitted != 1 {
+		t.Fatalf("gateway stats: %+v", st.Gateway)
+	}
+	if st.Engine.Searches != 1 || st.Engine.Queries != 2 {
+		t.Fatalf("engine stats: %+v", st.Engine)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(mb)
+	for _, want := range []string{
+		"swdual_gateway_admitted_total 1",
+		"swdual_gateway_completed_total 1",
+		"swdual_gateway_queue_depth 0",
+		"swdual_engine_searches_total 1",
+		"swdual_engine_failed_over_total 0",
+		`swdual_worker_observed_gcups{worker="cpu-0"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestConfigValidation rejects negative limits the way engine.New does.
+func TestConfigValidation(t *testing.T) {
+	e := testEngine(t, testDB(10, 950))
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("nil backend accepted")
+	}
+	for _, cfg := range []Config{
+		{Capacity: -1}, {ClientSlots: -1},
+		{MaxBodyBytes: -1}, {MaxQueries: -1}, {MaxQueryResidues: -1},
+		{DefaultTimeout: -time.Second},
+	} {
+		if _, err := New(e, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	// A negative Queue is the explicit "no queue" spelling, not an error.
+	g, err := New(e, Config{Capacity: 3, Queue: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.cfg.Queue != 0 || g.cfg.Capacity != 3 {
+		t.Fatalf("Queue -1 normalized to %+v", g.cfg)
+	}
+}

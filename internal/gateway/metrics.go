@@ -1,0 +1,83 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// GET /metrics renders the gateway's counters and the backend's
+// engine.Stats in the Prometheus text exposition format — hand-rolled,
+// because the format is three lines per metric and a client library is
+// a dependency this module doesn't carry.
+
+// promEscape escapes a label value per the exposition format.
+var promEscape = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+type promWriter struct {
+	w io.Writer
+}
+
+func (p promWriter) counter(name, help string, v uint64) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func (p promWriter) gauge(name, help string, v float64) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+func (p promWriter) labeledHeader(name, help, typ string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p promWriter) labeled(name, worker string, v float64) {
+	fmt.Fprintf(p.w, "%s{worker=\"%s\"} %g\n", name, promEscape.Replace(worker), v)
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, &apiError{code: http.StatusMethodNotAllowed, msg: "GET only"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := promWriter{w: w}
+	c := g.Counters()
+	p.counter("swdual_gateway_admitted_total", "Requests that reached an execution slot.", c.Admitted)
+	p.counter("swdual_gateway_shed_queue_total", "Requests rejected with 429 because the admission queue was full.", c.ShedQueue)
+	p.counter("swdual_gateway_shed_client_total", "Requests rejected with 429 by the per-client slot bound.", c.ShedClient)
+	p.counter("swdual_gateway_completed_total", "Searches answered 200.", c.Completed)
+	p.counter("swdual_gateway_failed_total", "Searches failed by the backend (5xx).", c.Failed)
+	p.counter("swdual_gateway_timed_out_total", "Searches that hit their propagated deadline (504).", c.TimedOut)
+	p.counter("swdual_gateway_client_gone_total", "Requests whose client disconnected before the answer.", c.ClientGone)
+	p.gauge("swdual_gateway_in_flight", "Searches executing right now.", float64(c.InFlight))
+	p.gauge("swdual_gateway_queue_depth", "Admitted requests waiting for an execution slot.", float64(c.QueueDepth))
+	p.gauge("swdual_gateway_latency_mean_seconds", "EWMA of completed search latency (drives Retry-After).", time.Duration(c.LatencyMeanNS).Seconds())
+
+	st := g.be.Stats()
+	p.gauge("swdual_engine_db_sequences", "Sequences in the prepared database.", float64(st.DBSequences))
+	p.gauge("swdual_engine_db_residues", "Residues in the prepared database.", float64(st.DBResidues))
+	p.counter("swdual_engine_searches_total", "Search calls served by the backend.", st.Searches)
+	p.counter("swdual_engine_queries_total", "Queries served by the backend.", st.Queries)
+	p.counter("swdual_engine_waves_total", "Scheduling waves dispatched.", st.Waves)
+	p.counter("swdual_engine_batched_waves_total", "Waves that coalesced more than one request.", st.BatchedWaves)
+	p.counter("swdual_engine_pipelined_waves_total", "Waves planned while the previous wave executed.", st.PipelinedWaves)
+	p.counter("swdual_engine_cache_hits_total", "Result-cache hits.", st.CacheHits)
+	p.counter("swdual_engine_cache_misses_total", "Result-cache misses.", st.CacheMisses)
+	p.counter("swdual_engine_cache_evictions_total", "Result-cache evictions.", st.CacheEvictions)
+	p.counter("swdual_engine_collapsed_searches_total", "Searches answered as singleflight followers.", st.CollapsedSearches)
+	p.counter("swdual_engine_hedged_searches_total", "Searches hedged on a second replica.", st.HedgedSearches)
+	p.counter("swdual_engine_failed_over_total", "Calls retried on a sibling replica after a lost connection.", st.FailedOver)
+	p.counter("swdual_engine_redials_total", "Dead replicas revived by the background reconnect loop.", st.Redials)
+
+	p.labeledHeader("swdual_worker_observed_gcups", "Live EWMA throughput per worker.", "gauge")
+	for _, wr := range st.Workers {
+		p.labeled("swdual_worker_observed_gcups", wr.Name, wr.ObservedGCUPS)
+	}
+	p.labeledHeader("swdual_worker_tasks_total", "Completed tasks per worker.", "counter")
+	for _, wr := range st.Workers {
+		p.labeled("swdual_worker_tasks_total", wr.Name, float64(wr.Tasks))
+	}
+}

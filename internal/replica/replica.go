@@ -40,6 +40,7 @@ import (
 	"swdual/internal/remote"
 	"swdual/internal/sched"
 	"swdual/internal/seq"
+	"swdual/internal/stats"
 )
 
 // Replica is one member of a Set: a live backend, a way to re-create it
@@ -112,40 +113,6 @@ func (c *Config) setDefaults() {
 // one would race replicas on noise.
 const hedgeMinObservations = 8
 
-// latencyAlpha weights the newest latency observation, mirroring the
-// rate estimator's constant: recent enough to track a slowing replica,
-// smooth enough not to chase single-search jitter.
-const latencyAlpha = 0.3
-
-// latencyEWMA is master.RateEstimator's shape applied to wall-clock
-// search latency: an exponentially weighted moving average the hedge
-// trigger reads, fed by every successful replica search.
-type latencyEWMA struct {
-	mu   sync.Mutex
-	mean time.Duration
-	n    uint64
-}
-
-func (l *latencyEWMA) observe(d time.Duration) {
-	if d <= 0 {
-		return
-	}
-	l.mu.Lock()
-	if l.n == 0 {
-		l.mean = d
-	} else {
-		l.mean = time.Duration(latencyAlpha*float64(d) + (1-latencyAlpha)*float64(l.mean))
-	}
-	l.n++
-	l.mu.Unlock()
-}
-
-func (l *latencyEWMA) snapshot() (time.Duration, uint64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.mean, l.n
-}
-
 // slot is one replica's mutable state: the live backend (nil while
 // down), how to revive it, and whether a revival is already running.
 type slot struct {
@@ -166,7 +133,7 @@ type Set struct {
 	alpha    *alphabet.Alphabet
 
 	slots []*slot
-	lat   latencyEWMA
+	lat   stats.LatencyEWMA
 
 	searches   atomic.Uint64
 	queries    atomic.Uint64
@@ -485,7 +452,7 @@ func (s *Set) searchHedged(ctx context.Context, idx int, b engine.Backend, tried
 		start := time.Now()
 		rep, err := b.Search(armCtx, queries, opts)
 		if err == nil {
-			s.lat.observe(time.Since(start))
+			s.lat.Observe(time.Since(start))
 		}
 		results <- armResult{idx: idx, b: b, rep: rep, err: err}
 	}
@@ -546,7 +513,7 @@ func (s *Set) hedgeDelay() (time.Duration, bool) {
 	if s.cfg.HedgeAfter > 0 {
 		return s.cfg.HedgeAfter, true
 	}
-	mean, n := s.lat.snapshot()
+	mean, n := s.lat.Snapshot()
 	if n < hedgeMinObservations {
 		return 0, false
 	}

@@ -5,6 +5,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Mean returns the arithmetic mean (0 for empty input).
@@ -59,6 +60,28 @@ func Max(xs []float64) float64 {
 		}
 	}
 	return m
+}
+
+// Percentile returns the p'th percentile (0 < p <= 100) of xs by
+// nearest-rank on a sorted copy (0 for empty input). The load harness
+// reports p50/p99 latency with it.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
 }
 
 // GCUPS converts a cell count and seconds to billion cell updates/second.

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestMeanStdDev(t *testing.T) {
@@ -81,5 +82,57 @@ func TestQuickMeanBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {1, 1}, {20, 1}, {50, 3}, {99, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(empty) = %v, want 0", got)
+	}
+	// The input must not be reordered: callers keep appending to it.
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+}
+
+func TestLatencyEWMA(t *testing.T) {
+	var l LatencyEWMA
+	if mean, n := l.Snapshot(); mean != 0 || n != 0 {
+		t.Fatalf("zero value: mean %v n %d", mean, n)
+	}
+	l.Observe(0)  // ignored: carries no information
+	l.Observe(-1) // ignored
+	if _, n := l.Snapshot(); n != 0 {
+		t.Fatalf("non-positive observations counted: n %d", n)
+	}
+	l.Observe(100 * time.Millisecond)
+	if mean, n := l.Snapshot(); n != 1 || mean != 100*time.Millisecond {
+		t.Fatalf("first observation: mean %v n %d", mean, n)
+	}
+	// The EWMA moves toward new observations but never past them.
+	l.Observe(200 * time.Millisecond)
+	mean, n := l.Snapshot()
+	if n != 2 || mean <= 100*time.Millisecond || mean >= 200*time.Millisecond {
+		t.Fatalf("after second observation: mean %v n %d", mean, n)
+	}
+	// Repeated identical observations converge to that value.
+	for i := 0; i < 50; i++ {
+		l.Observe(time.Second)
+	}
+	mean, _ = l.Snapshot()
+	if d := mean - time.Second; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("did not converge: mean %v", mean)
 	}
 }

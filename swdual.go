@@ -126,6 +126,23 @@ type Options struct {
 	// the default, 64 MiB).
 	CacheSize  int
 	CacheBytes int64
+	// GatewayCapacity bounds concurrently executing searches behind the
+	// HTTP gateway (0 selects the default, 2×GOMAXPROCS); see NewGateway.
+	GatewayCapacity int
+	// GatewayQueue bounds how many admitted gateway requests may wait
+	// for an execution slot (0 selects the default, 4×capacity; negative
+	// means no queue). Arrivals beyond capacity+queue are shed with 429.
+	GatewayQueue int
+	// GatewayClientSlots bounds the slots one client (X-API-Key header,
+	// else remote address) may hold at once (0 selects the default, a
+	// quarter of capacity+queue).
+	GatewayClientSlots int
+	// GatewayTimeout is the search deadline applied to gateway requests
+	// that carry none of their own (0 = none).
+	GatewayTimeout time.Duration
+	// GatewayMaxBodyBytes bounds a gateway request body (0 selects the
+	// default, 8 MiB).
+	GatewayMaxBodyBytes int64
 }
 
 func (o Options) params() (sw.Params, error) {
