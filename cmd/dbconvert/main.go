@@ -5,7 +5,7 @@
 //
 //	dbconvert -in db.fasta -out db.swdb
 //	dbconvert -in db.swdb -out db.fasta
-//	dbconvert -in db.swdb -verify        # CRC check only
+//	dbconvert -in db.swdb -verify        # full index + data CRC check
 package main
 
 import (
@@ -24,22 +24,25 @@ func main() {
 	var (
 		in     = flag.String("in", "", "input file (.fasta or .swdb)")
 		out    = flag.String("out", "", "output file (.fasta or .swdb)")
-		verify = flag.Bool("verify", false, "verify a .swdb file's checksum and exit")
+		verify = flag.Bool("verify", false, "verify a .swdb file's index integrity and data checksum, then exit")
 	)
 	flag.Parse()
 	if *in == "" {
 		log.Fatal("-in is required")
 	}
 	if *verify {
-		f, err := seqdb.Open(*in)
+		// Open maps the file and already refuses any header or index
+		// entry that doesn't fit the real file size; Verify then rescans
+		// every residue byte against the header CRC.
+		m, err := seqdb.Open(*in)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		if err := f.Verify(); err != nil {
+		defer m.Close()
+		if err := m.Verify(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s: OK (%d sequences, %d residues)\n", *in, f.Count(), f.TotalResidues())
+		fmt.Printf("%s: index OK, data CRC OK (%d sequences, %d residues)\n", *in, m.Count(), m.TotalResidues())
 		return
 	}
 	if *out == "" {

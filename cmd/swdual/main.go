@@ -42,6 +42,12 @@
 // Serve mode loads the database once, keeps the worker pool alive, and
 // answers every client over the wire protocol; queries from concurrent
 // clients coalesce into shared scheduling waves.
+//
+// A -db path ending in .swdb is memory-mapped read-only rather than
+// parsed: startup costs only the header and index validation, residues
+// stay off the Go heap, and a fleet of shard or replica servers mapping
+// the same file on one host holds one physical copy of the corpus in
+// the page cache between them.
 package main
 
 import (
@@ -59,7 +65,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("swdual: ")
 	var (
-		dbPath   = flag.String("db", "", "database file (.fasta/.fa or .swdb binary)")
+		dbPath   = flag.String("db", "", "database file (.fasta/.fa parsed into memory; .swdb memory-mapped read-only — zero-copy, and every process mapping the same file on a host shares one physical copy)")
 		qPath    = flag.String("query", "", "query file (.fasta/.fa or .swdb binary)")
 		cpus     = flag.Int("cpus", 1, "CPU workers")
 		gpus     = flag.Int("gpus", 1, "GPU workers (simulated Tesla C2050)")
@@ -148,10 +154,15 @@ func main() {
 	if *dbPath == "" {
 		log.Fatal("-db is required")
 	}
-	db, err := load(*dbPath)
+	// The database goes through OpenDatabase so a .swdb file is
+	// memory-mapped instead of copied: serve fleets on one host share a
+	// single physical copy through the page cache. Queries stay on the
+	// load() heap path — they are small and short-lived.
+	db, err := swdual.OpenDatabase(*dbPath)
 	if err != nil {
 		log.Fatalf("loading database: %v", err)
 	}
+	defer db.Close()
 
 	workersDesc := fmt.Sprintf("%d CPU + %d GPU workers", *cpus, *gpus)
 	if *pool != "" {

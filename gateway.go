@@ -49,6 +49,7 @@ func NewGateway(s *Searcher, opt Options) (*Gateway, error) {
 		ClientSlots:    opt.GatewayClientSlots,
 		DefaultTimeout: opt.GatewayTimeout,
 		MaxBodyBytes:   opt.GatewayMaxBodyBytes,
+		DBMappedBytes:  s.db.MappedBytes(),
 	})
 	if err != nil {
 		return nil, err

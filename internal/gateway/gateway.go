@@ -74,6 +74,11 @@ type Config struct {
 	// MaxQueryResidues bounds the summed query length per request
 	// (default 1<<20).
 	MaxQueryResidues int
+	// DBMappedBytes is the size of the memory-mapped database file
+	// behind the backend, exported as swdual_process_db_mapped_bytes (0
+	// when the database is heap-backed). The gateway only reports it;
+	// the mapping's lifecycle belongs to whoever opened it.
+	DBMappedBytes int64
 }
 
 func (c *Config) defaults() {

@@ -343,7 +343,7 @@ func TestMalformedRequests(t *testing.T) {
 // TestStatsHealthzMetrics drives the observability endpoints after a
 // real search round.
 func TestStatsHealthzMetrics(t *testing.T) {
-	_, srv := newTestGateway(t, testEngine(t, testDB(20, 940)), Config{Capacity: 2})
+	_, srv := newTestGateway(t, testEngine(t, testDB(20, 940)), Config{Capacity: 2, DBMappedBytes: 123456})
 	body := queriesJSON(t, synth.RandomSet(alphabet.Protein, 2, 20, 40, 941), 0)
 	if code, _, raw, _ := post(t, srv.Client(), srv.URL, body, nil); code != http.StatusOK {
 		t.Fatalf("search: %d (%s)", code, raw)
@@ -388,6 +388,9 @@ func TestStatsHealthzMetrics(t *testing.T) {
 		"swdual_gateway_queue_depth 0",
 		"swdual_engine_searches_total 1",
 		"swdual_engine_failed_over_total 0",
+		"swdual_process_heap_inuse_bytes",
+		"swdual_process_gc_pauses_total",
+		"swdual_process_db_mapped_bytes 123456",
 		`swdual_worker_observed_gcups{worker="cpu-0"}`,
 	} {
 		if !strings.Contains(metrics, want) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"time"
 )
@@ -71,6 +72,16 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("swdual_engine_hedged_searches_total", "Searches hedged on a second replica.", st.HedgedSearches)
 	p.counter("swdual_engine_failed_over_total", "Calls retried on a sibling replica after a lost connection.", st.FailedOver)
 	p.counter("swdual_engine_redials_total", "Dead replicas revived by the background reconnect loop.", st.Redials)
+
+	// Process-level memory accounting: with a mapped .swdb the corpus
+	// lives outside the Go heap, and these three gauges are how an
+	// operator sees that split — heap shrinks, mapped bytes appear, GC
+	// pause growth slows.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.gauge("swdual_process_heap_inuse_bytes", "Bytes in in-use heap spans (runtime.MemStats.HeapInuse).", float64(ms.HeapInuse))
+	p.counter("swdual_process_gc_pauses_total", "Completed GC cycles, each with a stop-the-world pause (runtime.MemStats.NumGC).", uint64(ms.NumGC))
+	p.gauge("swdual_process_db_mapped_bytes", "Bytes of database file memory-mapped into this process (0 when heap-backed).", float64(g.cfg.DBMappedBytes))
 
 	p.labeledHeader("swdual_worker_observed_gcups", "Live EWMA throughput per worker.", "gauge")
 	for _, wr := range st.Workers {

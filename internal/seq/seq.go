@@ -27,6 +27,13 @@ func (s *Sequence) Len() int { return len(s.Residues) }
 type Set struct {
 	Alpha *alphabet.Alphabet
 	Seqs  []Sequence
+
+	// checksum caches the Checksum value when it is known without
+	// scanning — a memory-mapped .swdb header records exactly this CRC,
+	// and trusting it is what keeps opening a huge corpus O(index)
+	// instead of O(data). Mutating or reordering the set clears it.
+	checksum    uint32
+	hasChecksum bool
 }
 
 // NewSet returns an empty set over the given alphabet (protein if nil).
@@ -44,12 +51,14 @@ func (st *Set) Add(id, desc string, ascii []byte) error {
 	if err != nil {
 		return fmt.Errorf("sequence %s: %w", id, err)
 	}
+	st.hasChecksum = false
 	st.Seqs = append(st.Seqs, Sequence{ID: id, Desc: desc, Residues: enc})
 	return nil
 }
 
 // AddEncoded appends an already-encoded sequence without validation.
 func (st *Set) AddEncoded(id, desc string, residues []byte) {
+	st.hasChecksum = false
 	st.Seqs = append(st.Seqs, Sequence{ID: id, Desc: desc, Residues: residues})
 }
 
@@ -72,11 +81,22 @@ func (st *Set) TotalResidues() int64 {
 // the cluster runtime and the wire protocol all compare this value to
 // guard against two ends holding different sequences.
 func (st *Set) Checksum() uint32 {
+	if st.hasChecksum {
+		return st.checksum
+	}
 	crc := crc32.NewIEEE()
 	for i := range st.Seqs {
 		crc.Write(st.Seqs[i].Residues)
 	}
 	return crc.Sum32()
+}
+
+// SetPrecomputedChecksum installs a known Checksum value so later calls
+// skip the residue scan. The caller vouches that c is the CRC-32 (IEEE)
+// of the set's residues in order — a .swdb header stores exactly that.
+// Any mutation of the set clears it.
+func (st *Set) SetPrecomputedChecksum(c uint32) {
+	st.checksum, st.hasChecksum = c, true
 }
 
 // Stats summarizes a set the way the paper's Table III does.
@@ -113,6 +133,7 @@ func (st *Set) Stats() Stats {
 // CUDASW++-style GPU kernels sort subjects this way to minimize divergence
 // inside warps.
 func (st *Set) SortByLengthAsc() {
+	st.hasChecksum = false // Checksum is order-sensitive
 	sort.SliceStable(st.Seqs, func(i, j int) bool {
 		if li, lj := st.Seqs[i].Len(), st.Seqs[j].Len(); li != lj {
 			return li < lj
@@ -123,6 +144,7 @@ func (st *Set) SortByLengthAsc() {
 
 // SortByLengthDesc orders sequences by decreasing length.
 func (st *Set) SortByLengthDesc() {
+	st.hasChecksum = false // Checksum is order-sensitive
 	sort.SliceStable(st.Seqs, func(i, j int) bool {
 		if li, lj := st.Seqs[i].Len(), st.Seqs[j].Len(); li != lj {
 			return li > lj
@@ -136,9 +158,11 @@ func (st *Set) Slice(lo, hi int) *Set {
 	return &Set{Alpha: st.Alpha, Seqs: st.Seqs[lo:hi]}
 }
 
-// Clone returns a deep copy of the set.
+// Clone returns a deep copy of the set (same content, so a precomputed
+// checksum carries over).
 func (st *Set) Clone() *Set {
-	out := &Set{Alpha: st.Alpha, Seqs: make([]Sequence, len(st.Seqs))}
+	out := &Set{Alpha: st.Alpha, Seqs: make([]Sequence, len(st.Seqs)),
+		checksum: st.checksum, hasChecksum: st.hasChecksum}
 	for i := range st.Seqs {
 		r := make([]byte, len(st.Seqs[i].Residues))
 		copy(r, st.Seqs[i].Residues)

@@ -91,3 +91,48 @@ func TestTotalResidues(t *testing.T) {
 		t.Fatalf("total %d", s.TotalResidues())
 	}
 }
+
+// TestPrecomputedChecksum pins the contract the mapped database relies
+// on: a checksum installed by SetPrecomputedChecksum is returned as-is,
+// any mutation (append or reorder) invalidates it back to the scanned
+// value, and Clone carries it over.
+func TestPrecomputedChecksum(t *testing.T) {
+	s := build(t)
+	scanned := s.Checksum()
+
+	s.SetPrecomputedChecksum(scanned)
+	if got := s.Checksum(); got != scanned {
+		t.Fatalf("precomputed checksum %08x, want the installed %08x", got, scanned)
+	}
+	// A wrong precomputed value is trusted verbatim — that is the whole
+	// point (the .swdb header was verified at write time, not re-scanned
+	// at open) — so installing junk must surface as junk.
+	s.SetPrecomputedChecksum(scanned + 1)
+	if got := s.Checksum(); got != scanned+1 {
+		t.Fatalf("precomputed checksum %08x, want %08x", got, scanned+1)
+	}
+
+	// Mutation invalidates: Add changes content, Sort changes order, and
+	// the checksum is order-sensitive.
+	s.SetPrecomputedChecksum(scanned)
+	if err := s.Add("e", "", []byte("ARN")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Checksum(); got == scanned {
+		t.Fatal("Add did not invalidate the precomputed checksum")
+	}
+
+	s2 := build(t)
+	s2.SetPrecomputedChecksum(12345)
+	s2.SortByLengthAsc()
+	if got := s2.Checksum(); got == 12345 {
+		t.Fatal("sort did not invalidate the precomputed checksum")
+	}
+
+	// Clone propagates the trusted value (same content, same order).
+	s3 := build(t)
+	s3.SetPrecomputedChecksum(777)
+	if got := s3.Clone().Checksum(); got != 777 {
+		t.Fatalf("clone checksum %08x, want the propagated 777", got)
+	}
+}

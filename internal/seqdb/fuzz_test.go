@@ -1,0 +1,102 @@
+package seqdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/synth"
+)
+
+// memWriteSeeker is the minimal in-memory io.WriteSeeker Write needs,
+// so fuzz seeds can be built without touching the filesystem.
+type memWriteSeeker struct {
+	buf []byte
+	pos int64
+}
+
+func (m *memWriteSeeker) Write(p []byte) (int, error) {
+	if need := m.pos + int64(len(p)); need > int64(len(m.buf)) {
+		grown := make([]byte, need)
+		copy(grown, m.buf)
+		m.buf = grown
+	}
+	copy(m.buf[m.pos:], p)
+	m.pos += int64(len(p))
+	return len(p), nil
+}
+
+func (m *memWriteSeeker) Seek(off int64, whence int) (int64, error) {
+	switch whence {
+	case io.SeekStart:
+		m.pos = off
+	case io.SeekCurrent:
+		m.pos += off
+	case io.SeekEnd:
+		m.pos = int64(len(m.buf)) + off
+	}
+	return m.pos, nil
+}
+
+func validDBBytes(tb testing.TB, count int, seed int64) []byte {
+	tb.Helper()
+	var w memWriteSeeker
+	if err := Write(&w, synth.RandomSet(alphabet.Protein, count, 0, 60, seed)); err != nil {
+		tb.Fatal(err)
+	}
+	return w.buf
+}
+
+// FuzzReadSWDB feeds hostile database images to both readers. The
+// contract under fuzzing: parsing either errors with a message or
+// yields a database whose every sequence is readable — it never
+// panics, never reads out of range, and never sizes an allocation from
+// a count the file's real length cannot back (the fuzzer would OOM on
+// that long before an assertion fired).
+func FuzzReadSWDB(f *testing.F) {
+	valid := validDBBytes(f, 6, 21)
+	f.Add(valid)
+	f.Add(validDBBytes(f, 0, 22))
+	f.Add([]byte(magic))
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)-3]) // truncated index
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(huge[12:], 1<<60) // absurd count
+	f.Add(huge)
+	far := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(far[28:], 1<<62) // index offset past EOF
+	f.Add(far)
+	overlap := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(overlap[28:], headerSize) // index atop data
+	f.Add(overlap)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The mapped parser: one shot over the whole image.
+		if hdr, entries, err := parseDB(data); err == nil {
+			// Accepted: every entry must be slice-safe against the image.
+			for _, e := range entries {
+				_ = data[e.dataOff : e.dataOff+uint64(e.dataLen)]
+				_ = splitNameCopy(data[e.nameOff : e.nameOff+uint64(e.nameLen)])
+			}
+			_ = hdr
+		}
+		// The pread reader: open plus a full read of every sequence.
+		fl, err := NewFile(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		if err := fl.VerifyIndex(); err != nil {
+			return
+		}
+		if _, err := fl.ReadAll(); err != nil {
+			return
+		}
+	})
+}
+
+func splitNameCopy(b []byte) string {
+	id, _ := splitName(b)
+	return id
+}

@@ -1,0 +1,52 @@
+//go:build unix
+
+package seqdb
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"swdual/internal/alphabet"
+	"swdual/internal/synth"
+)
+
+// TestMappedIsReadOnly proves the PROT_READ guarantee the engine path
+// relies on: writing through a mapped residue slice is impossible by
+// construction — the store faults at the MMU. SetPanicOnFault turns
+// that fault into a recoverable panic so the test can observe it
+// instead of dying.
+func TestMappedIsReadOnly(t *testing.T) {
+	set := synth.RandomSet(alphabet.Protein, 8, 4, 40, 14)
+	path := tempDB(t, set)
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	s, err := m.Set()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Seqs[0].Residues
+	if len(r) == 0 {
+		t.Fatal("need a non-empty sequence")
+	}
+
+	defer debug.SetPanicOnFault(debug.SetPanicOnFault(true))
+	faulted := false
+	func() {
+		defer func() {
+			if recover() != nil {
+				faulted = true
+			}
+		}()
+		r[0] = 0xff // must fault: the mapping is PROT_READ
+	}()
+	if !faulted {
+		t.Fatal("write through a mapped residue slice succeeded; the mapping is not read-only")
+	}
+	// The database is untouched and still serves reads.
+	if err := m.Verify(); err != nil {
+		t.Fatalf("mapping corrupted after the blocked write: %v", err)
+	}
+}

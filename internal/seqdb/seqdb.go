@@ -11,6 +11,17 @@
 //	data     : encoded residues of every sequence, concatenated
 //	names    : per sequence, id + 0x00 + description
 //	index    : count entries of {dataOff u64, dataLen u32, nameOff u64, nameLen u32}
+//
+// Two readers exist. OpenFile gives random access through an io.ReaderAt
+// (every read copies into fresh heap slices). Open memory-maps the file
+// read-only and exposes it as a seq.Set whose Residues are subslices of
+// the mapping — zero residue copies, data off the Go heap, one physical
+// copy per host shared by every process mapping the same file (see
+// mapped.go).
+//
+// Every header- and index-declared quantity is distrusted until proven
+// to lie inside the actual file: a hostile file can neither drive
+// out-of-range reads nor size an allocation by lying about counts.
 package seqdb
 
 import (
@@ -69,6 +80,83 @@ type indexEntry struct {
 	dataLen uint32
 	nameOff uint64
 	nameLen uint32
+}
+
+// header is the decoded and size-validated file header.
+type header struct {
+	alpha         *alphabet.Alphabet
+	count         int
+	totalResidues uint64
+	indexOffset   uint64
+	dataCRC       uint32
+}
+
+// parseHeader decodes the fixed header and validates every declared
+// quantity against the actual file size before anything trusts it:
+// the index must lie inside the file, the declared sequence count must
+// fit in the index region that is really there, and the declared data
+// volume cannot exceed the bytes between header and index. Nothing
+// count-driven may be allocated before these checks pass.
+func parseHeader(hdr []byte, size int64) (header, error) {
+	if size < headerSize {
+		return header{}, fmt.Errorf("seqdb: file of %d bytes is shorter than the %d-byte header", size, headerSize)
+	}
+	if string(hdr[0:4]) != magic {
+		return header{}, fmt.Errorf("seqdb: bad magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
+		return header{}, fmt.Errorf("seqdb: unsupported version %d", v)
+	}
+	alpha, err := alphaByID(binary.LittleEndian.Uint32(hdr[8:]))
+	if err != nil {
+		return header{}, err
+	}
+	count := binary.LittleEndian.Uint64(hdr[12:])
+	total := binary.LittleEndian.Uint64(hdr[20:])
+	indexOffset := binary.LittleEndian.Uint64(hdr[28:])
+	if indexOffset < headerSize || indexOffset > uint64(size) {
+		return header{}, fmt.Errorf("seqdb: index offset %d outside file of %d bytes", indexOffset, size)
+	}
+	// Overflow-safe: bound count by the index bytes actually present
+	// instead of computing count*indexStride.
+	if maxEntries := (uint64(size) - indexOffset) / indexStride; count > maxEntries {
+		return header{}, fmt.Errorf("seqdb: header declares %d sequences but the file has index room for %d", count, maxEntries)
+	}
+	if total > indexOffset-headerSize {
+		return header{}, fmt.Errorf("seqdb: header declares %d residues but only %d bytes lie between header and index", total, indexOffset-headerSize)
+	}
+	return header{
+		alpha:         alpha,
+		count:         int(count),
+		totalResidues: total,
+		indexOffset:   indexOffset,
+		dataCRC:       binary.LittleEndian.Uint32(hdr[36:]),
+	}, nil
+}
+
+// checkEntry validates one index entry against the regions the header
+// established: residues and names both live in [headerSize,
+// indexOffset). The arithmetic is overflow-safe because offsets are
+// bounded before lengths are added to them.
+func (h *header) checkEntry(i int, e indexEntry) error {
+	if e.dataOff < headerSize || e.dataOff > h.indexOffset || uint64(e.dataLen) > h.indexOffset-e.dataOff {
+		return fmt.Errorf("seqdb: index entry %d: residues [%d,+%d) outside data region [%d,%d)",
+			i, e.dataOff, e.dataLen, headerSize, h.indexOffset)
+	}
+	if e.nameOff < headerSize || e.nameOff > h.indexOffset || uint64(e.nameLen) > h.indexOffset-e.nameOff {
+		return fmt.Errorf("seqdb: index entry %d: name [%d,+%d) outside data region [%d,%d)",
+			i, e.nameOff, e.nameLen, headerSize, h.indexOffset)
+	}
+	return nil
+}
+
+func decodeEntry(buf []byte) indexEntry {
+	return indexEntry{
+		dataOff: binary.LittleEndian.Uint64(buf[0:]),
+		dataLen: binary.LittleEndian.Uint32(buf[8:]),
+		nameOff: binary.LittleEndian.Uint64(buf[12:]),
+		nameLen: binary.LittleEndian.Uint32(buf[20:]),
+	}
 }
 
 // Write serializes a set into the binary format on ws.
@@ -158,24 +246,29 @@ func Create(path string, set *seq.Set) error {
 }
 
 // File provides random access to a database file. It is safe for
-// concurrent readers: all reads go through ReadAt.
+// concurrent readers: all reads go through ReadAt. Every read copies
+// into fresh heap memory; Open is the zero-copy mmap alternative.
 type File struct {
-	ra            io.ReaderAt
-	closer        io.Closer
-	alpha         *alphabet.Alphabet
-	count         int
-	totalResidues uint64
-	indexOffset   uint64
-	dataCRC       uint32
+	ra     io.ReaderAt
+	closer io.Closer
+	size   int64
+	hdr    header
 }
 
-// Open opens a database file for random access.
-func Open(path string) (*File, error) {
+// OpenFile opens a database file for random access through pread-style
+// reads. (Open is the memory-mapped sibling that shares one physical
+// copy per host.)
+func OpenFile(path string) (*File, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	db, err := NewFile(f)
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	db, err := NewFile(f, fi.Size())
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -185,29 +278,21 @@ func Open(path string) (*File, error) {
 }
 
 // NewFile builds a File over any io.ReaderAt containing the format.
-func NewFile(ra io.ReaderAt) (*File, error) {
+// size is the length of the underlying data in bytes; every
+// header-declared offset and count is validated against it before use.
+func NewFile(ra io.ReaderAt, size int64) (*File, error) {
+	if size < headerSize {
+		return nil, fmt.Errorf("seqdb: file of %d bytes is shorter than the %d-byte header", size, headerSize)
+	}
 	var hdr [headerSize]byte
 	if _, err := ra.ReadAt(hdr[:], 0); err != nil {
 		return nil, fmt.Errorf("seqdb: short header: %w", err)
 	}
-	if string(hdr[0:4]) != magic {
-		return nil, fmt.Errorf("seqdb: bad magic %q", hdr[0:4])
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
-		return nil, fmt.Errorf("seqdb: unsupported version %d", v)
-	}
-	alpha, err := alphaByID(binary.LittleEndian.Uint32(hdr[8:]))
+	h, err := parseHeader(hdr[:], size)
 	if err != nil {
 		return nil, err
 	}
-	return &File{
-		ra:            ra,
-		alpha:         alpha,
-		count:         int(binary.LittleEndian.Uint64(hdr[12:])),
-		totalResidues: binary.LittleEndian.Uint64(hdr[20:]),
-		indexOffset:   binary.LittleEndian.Uint64(hdr[28:]),
-		dataCRC:       binary.LittleEndian.Uint32(hdr[36:]),
-	}, nil
+	return &File{ra: ra, size: size, hdr: h}, nil
 }
 
 // Close releases the underlying file, if any.
@@ -219,28 +304,32 @@ func (f *File) Close() error {
 }
 
 // Count returns the number of sequences.
-func (f *File) Count() int { return f.count }
+func (f *File) Count() int { return f.hdr.count }
 
 // TotalResidues returns the total residue count recorded in the header.
-func (f *File) TotalResidues() uint64 { return f.totalResidues }
+func (f *File) TotalResidues() uint64 { return f.hdr.totalResidues }
 
 // Alphabet returns the database alphabet.
-func (f *File) Alphabet() *alphabet.Alphabet { return f.alpha }
+func (f *File) Alphabet() *alphabet.Alphabet { return f.hdr.alpha }
+
+// DataChecksum returns the CRC-32 (IEEE) of the concatenated residues
+// as recorded in the header — the same fingerprint seq.Set.Checksum
+// computes over an in-memory set.
+func (f *File) DataChecksum() uint32 { return f.hdr.dataCRC }
 
 func (f *File) entry(i int) (indexEntry, error) {
-	if i < 0 || i >= f.count {
-		return indexEntry{}, fmt.Errorf("seqdb: sequence index %d out of range [0,%d)", i, f.count)
+	if i < 0 || i >= f.hdr.count {
+		return indexEntry{}, fmt.Errorf("seqdb: sequence index %d out of range [0,%d)", i, f.hdr.count)
 	}
 	var buf [indexStride]byte
-	if _, err := f.ra.ReadAt(buf[:], int64(f.indexOffset)+int64(i)*indexStride); err != nil {
+	if _, err := f.ra.ReadAt(buf[:], int64(f.hdr.indexOffset)+int64(i)*indexStride); err != nil {
 		return indexEntry{}, fmt.Errorf("seqdb: reading index entry %d: %w", i, err)
 	}
-	return indexEntry{
-		dataOff: binary.LittleEndian.Uint64(buf[0:]),
-		dataLen: binary.LittleEndian.Uint32(buf[8:]),
-		nameOff: binary.LittleEndian.Uint64(buf[12:]),
-		nameLen: binary.LittleEndian.Uint32(buf[20:]),
-	}, nil
+	e := decodeEntry(buf[:])
+	if err := f.hdr.checkEntry(i, e); err != nil {
+		return indexEntry{}, err
+	}
+	return e, nil
 }
 
 // SequenceLen returns the residue count of sequence i without reading its
@@ -280,9 +369,9 @@ func splitName(b []byte) (id, desc string) {
 
 // ReadAll loads the whole database into a seq.Set.
 func (f *File) ReadAll() (*seq.Set, error) {
-	set := seq.NewSet(f.alpha)
-	set.Seqs = make([]seq.Sequence, 0, f.count)
-	for i := 0; i < f.count; i++ {
+	set := seq.NewSet(f.hdr.alpha)
+	set.Seqs = make([]seq.Sequence, 0, f.hdr.count)
+	for i := 0; i < f.hdr.count; i++ {
 		s, err := f.ReadSequence(i)
 		if err != nil {
 			return nil, err
@@ -295,10 +384,10 @@ func (f *File) ReadAll() (*seq.Set, error) {
 // ReadRange loads sequences [lo,hi) into a set; this is the random-access
 // chunked read pattern the workers use.
 func (f *File) ReadRange(lo, hi int) (*seq.Set, error) {
-	if lo < 0 || hi > f.count || lo > hi {
-		return nil, fmt.Errorf("seqdb: range [%d,%d) out of bounds [0,%d)", lo, hi, f.count)
+	if lo < 0 || hi > f.hdr.count || lo > hi {
+		return nil, fmt.Errorf("seqdb: range [%d,%d) out of bounds [0,%d)", lo, hi, f.hdr.count)
 	}
-	set := seq.NewSet(f.alpha)
+	set := seq.NewSet(f.hdr.alpha)
 	set.Seqs = make([]seq.Sequence, 0, hi-lo)
 	for i := lo; i < hi; i++ {
 		s, err := f.ReadSequence(i)
@@ -310,18 +399,37 @@ func (f *File) ReadRange(lo, hi int) (*seq.Set, error) {
 	return set, nil
 }
 
+// VerifyIndex walks the whole index and validates every entry against
+// the file's real size — offsets inside the data region, lengths that
+// fit, and a per-entry residue total that adds up to the header's
+// declared count. It reads only the index, never the data.
+func (f *File) VerifyIndex() error {
+	var total uint64
+	for i := 0; i < f.hdr.count; i++ {
+		e, err := f.entry(i)
+		if err != nil {
+			return err
+		}
+		total += uint64(e.dataLen)
+	}
+	if total != f.hdr.totalResidues {
+		return fmt.Errorf("seqdb: index residue total %d differs from header total %d", total, f.hdr.totalResidues)
+	}
+	return nil
+}
+
 // Verify re-reads the data section and checks it against the stored CRC32.
 func (f *File) Verify() error {
 	crc := crc32.NewIEEE()
-	for i := 0; i < f.count; i++ {
+	for i := 0; i < f.hdr.count; i++ {
 		s, err := f.ReadSequence(i)
 		if err != nil {
 			return err
 		}
 		crc.Write(s.Residues)
 	}
-	if crc.Sum32() != f.dataCRC {
-		return fmt.Errorf("seqdb: data CRC mismatch: stored %08x computed %08x", f.dataCRC, crc.Sum32())
+	if crc.Sum32() != f.hdr.dataCRC {
+		return fmt.Errorf("seqdb: data CRC mismatch: stored %08x computed %08x", f.hdr.dataCRC, crc.Sum32())
 	}
 	return nil
 }

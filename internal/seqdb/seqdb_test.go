@@ -25,7 +25,7 @@ func TestRoundTrip(t *testing.T) {
 	set := synth.RandomSet(alphabet.Protein, 50, 0, 300, 1)
 	set.Seqs[3].Desc = "a description with spaces"
 	path := tempDB(t, set)
-	f, err := Open(path)
+	f, err := OpenFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestRoundTrip(t *testing.T) {
 func TestRandomAccess(t *testing.T) {
 	set := synth.RandomSet(alphabet.Protein, 40, 1, 100, 2)
 	path := tempDB(t, set)
-	f, err := Open(path)
+	f, err := OpenFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestRandomAccess(t *testing.T) {
 func TestReadRange(t *testing.T) {
 	set := synth.RandomSet(alphabet.Protein, 30, 1, 50, 3)
 	path := tempDB(t, set)
-	f, err := Open(path)
+	f, err := OpenFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestReadRange(t *testing.T) {
 func TestVerify(t *testing.T) {
 	set := synth.RandomSet(alphabet.Protein, 20, 1, 80, 4)
 	path := tempDB(t, set)
-	f, err := Open(path)
+	f, err := OpenFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestVerify(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	f2, err := Open(path)
+	f2, err := OpenFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,13 +150,13 @@ func TestBadHeader(t *testing.T) {
 	if err := os.WriteFile(path, []byte("NOPE"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(path); err == nil {
+	if _, err := OpenFile(path); err == nil {
 		t.Fatal("short/bad header must fail")
 	}
 	if err := os.WriteFile(path, append([]byte("XXXX"), make([]byte, headerSize)...), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(path); err == nil {
+	if _, err := OpenFile(path); err == nil {
 		t.Fatal("bad magic must fail")
 	}
 }
@@ -164,7 +164,7 @@ func TestBadHeader(t *testing.T) {
 func TestEmptyAndDNA(t *testing.T) {
 	empty := seq.NewSet(alphabet.Protein)
 	path := tempDB(t, empty)
-	f, err := Open(path)
+	f, err := OpenFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestEmptyAndDNA(t *testing.T) {
 	dna := seq.NewSet(alphabet.DNA)
 	dna.AddEncoded("d1", "", alphabet.DNA.MustEncode("ACGTN"))
 	path2 := tempDB(t, dna)
-	f2, err := Open(path2)
+	f2, err := OpenFile(path2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestQuickRoundTrip(t *testing.T) {
 		if err := Create(path, set); err != nil {
 			return false
 		}
-		db, err := Open(path)
+		db, err := OpenFile(path)
 		if err != nil {
 			return false
 		}

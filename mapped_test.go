@@ -1,0 +1,248 @@
+package swdual_test
+
+import (
+	"context"
+	"net"
+	"path/filepath"
+	"testing"
+
+	"swdual"
+)
+
+// saveSWDB generates a deterministic corpus and writes it as .swdb,
+// returning the path and the in-memory original.
+func saveSWDB(t *testing.T, preset string, scale int) (string, *swdual.Database) {
+	t.Helper()
+	db, err := swdual.GenerateDatabase(preset, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.swdb")
+	if err := db.SaveBinary(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, db
+}
+
+func sameReports(t *testing.T, label string, got, want *swdual.Report) {
+	t.Helper()
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("%s: %d results, want %d", label, len(got.Results), len(want.Results))
+	}
+	for qi := range got.Results {
+		a, b := got.Results[qi].Hits, want.Results[qi].Hits
+		if len(a) != len(b) {
+			t.Fatalf("%s query %d: %d hits vs %d", label, qi, len(a), len(b))
+		}
+		for hi := range a {
+			if a[hi] != b[hi] {
+				t.Fatalf("%s query %d hit %d: %+v vs %+v", label, qi, hi, a[hi], b[hi])
+			}
+		}
+	}
+}
+
+// TestOpenDatabaseMapped pins the public mapping contract: a .swdb path
+// opens as a mapped database identical sequence-for-sequence to the
+// heap loader, reports its mapping size, verifies eagerly on demand,
+// and closes idempotently; a FASTA path through the same entry point is
+// heap-backed and Close is a no-op.
+func TestOpenDatabaseMapped(t *testing.T) {
+	path, orig := saveSWDB(t, "Ensembl Rat Proteins", 4000)
+	m, err := swdual.OpenDatabase(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MappedBytes() <= 0 {
+		t.Fatal("mapped database reports no mapped bytes")
+	}
+	if m.Len() != orig.Len() || m.TotalResidues() != orig.TotalResidues() {
+		t.Fatalf("mapped %d/%d, want %d/%d", m.Len(), m.TotalResidues(), orig.Len(), orig.TotalResidues())
+	}
+	heap, err := swdual.LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.Len(); i++ {
+		mid, mres := m.Sequence(i)
+		hid, hres := heap.Sequence(i)
+		if mid != hid || mres != hres {
+			t.Fatalf("mapped sequence %d differs from heap load", i)
+		}
+	}
+	if err := m.VerifyMapped(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if m.MappedBytes() != 0 {
+		t.Fatal("MappedBytes nonzero after Close")
+	}
+
+	fa := filepath.Join(t.TempDir(), "db.fasta")
+	if err := orig.SaveFASTA(fa); err != nil {
+		t.Fatal(err)
+	}
+	hdb, err := swdual.OpenDatabase(fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdb.MappedBytes() != 0 {
+		t.Fatal("FASTA database reports mapped bytes")
+	}
+	if err := hdb.Close(); err != nil {
+		t.Fatalf("heap Close: %v", err)
+	}
+}
+
+// TestMappedSearchMatchesHeap is the end-to-end equivalence suite: the
+// same .swdb searched from the heap and from the mapping — unsharded,
+// locally sharded, and remote-sharded with every server mapping the
+// file — must produce byte-identical hits.
+func TestMappedSearchMatchesHeap(t *testing.T) {
+	path, _ := saveSWDB(t, "UniProt", 20000)
+	queries, err := swdual.GenerateQueries("standard", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := swdual.Options{CPUs: 1, GPUs: 1, TopK: 5, ShardSplit: "balanced"}
+
+	heap, err := swdual.LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := swdual.Search(heap, queries, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mdb, err := swdual.OpenDatabase(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mdb.Close()
+
+	// Unsharded engine directly over the mapping.
+	got, err := swdual.Search(mdb, queries, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReports(t, "mapped unsharded", got, want)
+
+	// Local scatter/gather: shard slices are shallow, so every shard
+	// engine reads the same mapping.
+	shardOpt := opt
+	shardOpt.Shards = 3
+	got, err = swdual.Search(mdb, queries, shardOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReports(t, "mapped sharded", got, want)
+
+	// Remote scatter/gather: each shard server opens its own mapping of
+	// the same file — the one-copy-per-host deployment in miniature —
+	// and the coordinator's merged hits must still match the heap run.
+	const shardCount = 2
+	addrs := make([]string, shardCount)
+	for i := 0; i < shardCount; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		addrs[i] = l.Addr().String()
+		srvDB, err := swdual.OpenDatabase(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srvDB.Close()
+		go func(i int, l net.Listener, db *swdual.Database) {
+			swdual.ServeShard(l, db, i, shardCount, opt)
+		}(i, l, srvDB)
+	}
+	coordOpt := opt
+	coordOpt.RemoteShards = addrs
+	s, err := swdual.NewSearcher(mdb, coordOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Search(context.Background(), queries, swdual.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReports(t, "mapped remote-sharded", got, want)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSearcherOwnsDBPath covers Options.DBPath: NewSearcher(nil, ...)
+// opens the database itself, searches match an explicit heap database,
+// and Close releases the mapping after the engines.
+func TestSearcherOwnsDBPath(t *testing.T) {
+	path, _ := saveSWDB(t, "RefSeq Mouse Proteins", 8000)
+	queries, err := swdual.GenerateQueries("standard", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := swdual.Options{CPUs: 1, GPUs: 1, TopK: 5}
+
+	heap, err := swdual.LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := swdual.Search(heap, queries, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pathOpt := opt
+	pathOpt.DBPath = path
+	s, err := swdual.NewSearcher(nil, pathOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := s.Database()
+	if db == nil || db.MappedBytes() <= 0 {
+		t.Fatal("DBPath searcher did not map the database")
+	}
+	got, err := s.Search(context.Background(), queries, swdual.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReports(t, "DBPath", got, want)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if db.MappedBytes() != 0 {
+		t.Fatal("Searcher.Close left the owned mapping open")
+	}
+
+	// An explicit database argument wins over DBPath, and the Searcher
+	// then does not own it.
+	s2, err := swdual.NewSearcher(heap, pathOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Database() != heap {
+		t.Fatal("explicit db argument ignored in favor of DBPath")
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No database and no path stays an error.
+	if _, err := swdual.NewSearcher(nil, opt); err == nil {
+		t.Fatal("nil database with no DBPath accepted")
+	}
+	// A bad path surfaces the open error instead of a nil-set error.
+	badOpt := opt
+	badOpt.DBPath = filepath.Join(t.TempDir(), "missing.swdb")
+	if _, err := swdual.NewSearcher(nil, badOpt); err == nil {
+		t.Fatal("missing DBPath accepted")
+	}
+}

@@ -38,6 +38,10 @@ type Searcher struct {
 	db     *Database
 	opt    Options
 	shards int
+	// ownsDB marks a database the Searcher opened itself from
+	// Options.DBPath; Close then also releases its file mapping, after
+	// the engines that alias it have stopped.
+	ownsDB bool
 }
 
 // SearchOptions tunes one Searcher.Search call.
@@ -57,6 +61,24 @@ func NewSearcher(db *Database, opt Options) (*Searcher, error) {
 }
 
 func newSearcher(db *Database, opt Options, batchWindow int) (*Searcher, error) {
+	ownsDB := false
+	if db == nil && opt.DBPath != "" {
+		opened, err := OpenDatabase(opt.DBPath)
+		if err != nil {
+			return nil, err
+		}
+		db, ownsDB = opened, true
+	}
+	constructed := false
+	if ownsDB {
+		// Any construction error below must release the mapping we just
+		// created, or every failed NewSearcher leaks one mmap.
+		defer func() {
+			if !constructed {
+				db.Close()
+			}
+		}()
+	}
 	if db == nil {
 		return nil, errNilSets
 	}
@@ -138,7 +160,8 @@ func newSearcher(db *Database, opt Options, batchWindow int) (*Searcher, error) 
 		}
 		inner = eng
 	}
-	return &Searcher{inner: inner, db: db, opt: opt, shards: shards}, nil
+	constructed = true
+	return &Searcher{inner: inner, db: db, opt: opt, shards: shards, ownsDB: ownsDB}, nil
 }
 
 // dialRemoteShards assembles the coordinator side of a cluster serve:
@@ -335,8 +358,18 @@ func (s *Searcher) Database() *Database { return s.db }
 func (s *Searcher) Checksum() uint32 { return s.inner.Checksum() }
 
 // Close stops the dispatcher and worker pool. It is idempotent; Search
-// calls after Close fail.
-func (s *Searcher) Close() error { return s.inner.Close() }
+// calls after Close fail. A Searcher built from Options.DBPath also
+// releases the database file mapping — strictly after the engines whose
+// residue slices alias it have stopped.
+func (s *Searcher) Close() error {
+	err := s.inner.Close()
+	if s.ownsDB {
+		if cerr := s.db.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // QueryServer runs one search request against a serve-mode Searcher
 // listening at addr and returns its merged results. A non-zero checksum

@@ -143,6 +143,13 @@ type Options struct {
 	// GatewayMaxBodyBytes bounds a gateway request body (0 selects the
 	// default, 8 MiB).
 	GatewayMaxBodyBytes int64
+	// DBPath opens the database from a file when the db argument to
+	// NewSearcher is nil: a .swdb path is memory-mapped (OpenDatabase
+	// semantics — zero-copy, off-heap, one physical copy per host
+	// across every process mapping it), anything else is parsed as
+	// FASTA. The Searcher owns the resulting database and releases the
+	// mapping on Close. Ignored when an explicit db is passed.
+	DBPath string
 }
 
 func (o Options) params() (sw.Params, error) {
@@ -202,6 +209,10 @@ func (o Options) workers() (cpus, gpus int) {
 // Database is a set of sequences usable as search subjects or queries.
 type Database struct {
 	set *seq.Set
+	// mapped is non-nil when the set is backed by a memory-mapped
+	// .swdb file (OpenDatabase): Residues alias the mapping, the data
+	// stays off the Go heap, and Close releases it.
+	mapped *seqdb.Mapped
 }
 
 // Len returns the number of sequences.
@@ -228,9 +239,36 @@ func LoadFASTA(path string) (*Database, error) {
 	return &Database{set: set}, nil
 }
 
-// LoadBinary opens a database in the paper's binary format (§IV).
+// OpenDatabase opens a database file by format: a .swdb file is
+// memory-mapped read-only — zero residue copies, sequence data off the
+// Go heap, opening costs O(index) because the header's stored CRC is
+// trusted instead of rescanning residues, and every process mapping
+// the same file on one host shares a single physical copy through the
+// page cache — while any other path is parsed as FASTA into the heap.
+// A mapped Database must be Closed after the last Searcher over it; on
+// platforms without mmap the same API transparently reads the file
+// into the heap.
+func OpenDatabase(path string) (*Database, error) {
+	if !strings.HasSuffix(path, ".swdb") {
+		return LoadFASTA(path)
+	}
+	m, err := seqdb.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	set, err := m.Set()
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	return &Database{set: set, mapped: m}, nil
+}
+
+// LoadBinary loads a database in the paper's binary format (§IV) into
+// the heap. OpenDatabase is the zero-copy alternative that maps the
+// file instead of copying it.
 func LoadBinary(path string) (*Database, error) {
-	f, err := seqdb.Open(path)
+	f, err := seqdb.OpenFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -240,6 +278,38 @@ func LoadBinary(path string) (*Database, error) {
 		return nil, err
 	}
 	return &Database{set: set}, nil
+}
+
+// Close releases the file mapping behind a Database opened from a
+// .swdb path. It is a no-op for heap-backed databases, idempotent, and
+// must come after the last Searcher over the Database is Closed — the
+// sequences alias the mapping.
+func (d *Database) Close() error {
+	if d.mapped == nil {
+		return nil
+	}
+	return d.mapped.Close()
+}
+
+// MappedBytes reports the size of the file mapping backing the
+// Database (0 for heap-backed databases and after Close) — the
+// operator-visible measure of how much corpus lives outside the Go
+// heap.
+func (d *Database) MappedBytes() int64 {
+	if d.mapped == nil {
+		return 0
+	}
+	return d.mapped.MappedBytes()
+}
+
+// VerifyMapped rescans a mapped database's residues against the
+// header checksum that Open trusted — the eager integrity check for
+// operators who want corruption caught at startup rather than never.
+func (d *Database) VerifyMapped() error {
+	if d.mapped == nil {
+		return nil
+	}
+	return d.mapped.Verify()
 }
 
 // SaveBinary writes the database in the paper's binary format.
