@@ -11,9 +11,12 @@
 // command produces the whole goodput-vs-offered-load curve.
 //
 // Each offered-load level runs `offered` closed-loop clients sharing
-// -requests attempts. Completions (200) count toward goodput; shed
-// answers (429) are the gateway doing its job and are reported as a
-// ratio, never as an error.
+// -requests attempts. Completions (200 and 206) count toward goodput;
+// shed answers (429) are the gateway doing its job and are reported as
+// a ratio, never as an error. Partial answers (206 — a degraded
+// coordinator riding over dark ranges) are additionally reported as
+// partial_ratio, so a chaos sweep shows how much of its goodput was
+// degraded.
 //
 // Two plumbing modes serve shell-driven end-to-end tests:
 //
@@ -139,19 +142,20 @@ func main() {
 		res := sweep(base, body, level, *requests)
 		// One go-bench-format line per level; benchjson picks up every
 		// "<value> <unit>" pair as a metric.
-		fmt.Printf("BenchmarkGatewayLoad/offered=%d \t%8d\t%12.0f ns/op\t%8.2f goodput_rps\t%8.2f p50_ms\t%8.2f p99_ms\t%6.3f shed_ratio\n",
-			level, res.completed, res.meanNS, res.goodputRPS, res.p50ms, res.p99ms, res.shedRatio)
+		fmt.Printf("BenchmarkGatewayLoad/offered=%d \t%8d\t%12.0f ns/op\t%8.2f goodput_rps\t%8.2f p50_ms\t%8.2f p99_ms\t%6.3f shed_ratio\t%6.3f partial_ratio\n",
+			level, res.completed, res.meanNS, res.goodputRPS, res.p50ms, res.p99ms, res.shedRatio, res.partialRatio)
 	}
 }
 
 // sweepResult aggregates one offered-load level.
 type sweepResult struct {
-	completed  int
-	meanNS     float64
-	goodputRPS float64
-	p50ms      float64
-	p99ms      float64
-	shedRatio  float64
+	completed    int
+	meanNS       float64
+	goodputRPS   float64
+	p50ms        float64
+	p99ms        float64
+	shedRatio    float64
+	partialRatio float64
 }
 
 // sweep fires `attempts` requests from `level` closed-loop clients and
@@ -161,6 +165,7 @@ func sweep(base string, body []byte, level, attempts int) sweepResult {
 		mu        sync.Mutex
 		latencies []float64
 		shed      int
+		partial   int
 	)
 	work := make(chan struct{}, attempts)
 	for i := 0; i < attempts; i++ {
@@ -183,6 +188,12 @@ func sweep(base string, body []byte, level, attempts int) sweepResult {
 				switch code {
 				case http.StatusOK:
 					latencies = append(latencies, time.Since(t0).Seconds())
+				case http.StatusPartialContent:
+					// A degraded answer is still goodput — the client got
+					// hits — but it is counted separately so the sweep
+					// shows the partial share.
+					latencies = append(latencies, time.Since(t0).Seconds())
+					partial++
 				case http.StatusTooManyRequests:
 					shed++
 				default:
@@ -195,8 +206,9 @@ func sweep(base string, body []byte, level, attempts int) sweepResult {
 	wg.Wait()
 	wall := time.Since(start).Seconds()
 	res := sweepResult{
-		completed: len(latencies),
-		shedRatio: float64(shed) / float64(attempts),
+		completed:    len(latencies),
+		shedRatio:    float64(shed) / float64(attempts),
+		partialRatio: float64(partial) / float64(attempts),
 	}
 	if wall > 0 {
 		res.goodputRPS = float64(len(latencies)) / wall

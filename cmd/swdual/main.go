@@ -84,6 +84,7 @@ func main() {
 		split    = flag.String("shard-split", "contiguous", "shard boundary strategy: contiguous | balanced")
 		cache    = flag.Bool("cache", false, "cache search results: repeated queries are answered without a scheduling wave and concurrent identical queries collapse into one (hits stay byte-identical)")
 		cacheSz  = flag.Int("cache-size", 0, "max cached search fingerprints with -cache (0 = default 1024)")
+		degraded = flag.Bool("degraded", false, "sharded coordinators answer partial when every replica of a range is down, reporting coverage, instead of failing the search (HTTP gateways answer 206)")
 
 		gatewayAddr = flag.String("gateway", "", "serve the database over HTTP/JSON on this address, with admission control and load shedding (POST /v1/search, GET /v1/stats, /healthz, /metrics)")
 		gwCapacity  = flag.Int("gateway-capacity", 0, "concurrently executing gateway searches (0 = default 2×GOMAXPROCS)")
@@ -115,6 +116,7 @@ func main() {
 		ShardSplit: *split,
 		Cache:      *cache,
 		CacheSize:  *cacheSz,
+		Degraded:   *degraded,
 	}
 	opt.GatewayCapacity = *gwCapacity
 	opt.GatewayQueue = *gwQueue

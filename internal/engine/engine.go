@@ -245,6 +245,14 @@ type Stats struct {
 	HedgedSearches uint64
 	FailedOver     uint64
 	Redials        uint64
+	// DegradedSearches counts searches answered with partial coverage:
+	// a sharded coordinator running DegradedPartial merged the
+	// surviving ranges after some range lost every replica (the
+	// report's Coverage says which). Always zero on a plain engine and
+	// on coordinators with the default fail policy. It crosses the wire
+	// in StatsResponse (version 6) and sums across shard aggregation,
+	// so a fleet operator sees how many answers were partial.
+	DegradedSearches uint64
 	// Workers snapshots each worker's advertised vs observed throughput
 	// at the moment Stats was called — the rates the next scheduling
 	// wave will be planned with. On a sharded Searcher the names are

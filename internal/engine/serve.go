@@ -267,6 +267,7 @@ func (m *muxSession) handle(msg any) (done bool) {
 			HedgedSearches:    st.HedgedSearches,
 			FailedOver:        st.FailedOver,
 			Redials:           st.Redials,
+			DegradedSearches:  st.DegradedSearches,
 			Workers:           make([]wire.WorkerRateInfo, len(st.Workers)),
 		}
 		for i, w := range st.Workers {
@@ -356,6 +357,25 @@ func (m *muxSession) startSearch(req *wire.SearchRequest) {
 		out := &wire.SearchResult{ID: req.ID, Results: make([]wire.Result, len(rep.Results))}
 		for qi, res := range rep.Results {
 			out.Results[qi] = *resultFrame(qi, res)
+		}
+		if cov := rep.Coverage; cov != nil {
+			// A degraded answer carries its coverage to the client, so the
+			// partial label survives the hop.
+			wc := &wire.Coverage{
+				RangesSearched:   uint32(cov.RangesSearched),
+				RangesTotal:      uint32(cov.RangesTotal),
+				ResiduesSearched: uint64(cov.ResiduesSearched),
+				ResiduesTotal:    uint64(cov.ResiduesTotal),
+			}
+			for _, sk := range cov.Skipped {
+				wc.Skipped = append(wc.Skipped, wire.SkippedRange{
+					Index:  uint32(sk.Index),
+					Lo:     uint32(sk.Lo),
+					Hi:     uint32(sk.Hi),
+					Reason: sk.Reason,
+				})
+			}
+			out.Coverage = wc
 		}
 		m.send(out)
 	}()

@@ -39,11 +39,36 @@ type Query struct {
 	Residues string `json:"residues"`
 }
 
-// SearchResponse is the 200 body of POST /v1/search.
+// SearchResponse is the 200 body of POST /v1/search — and, with
+// Coverage set, the 206 body of a degraded (partial-coverage) answer.
 type SearchResponse struct {
 	Results []QueryResult `json:"results"`
 	Cells   int64         `json:"cells"`
 	WallNS  int64         `json:"wall_ns"`
+	// Coverage is present only on 206 answers: the backend searched some
+	// database ranges but skipped others whose every replica was down.
+	// Hits from searched ranges are exactly what a full search would
+	// have reported for them.
+	Coverage *Coverage `json:"coverage,omitempty"`
+}
+
+// Coverage is the 206 answer's partial-coverage block.
+type Coverage struct {
+	RangesSearched   int            `json:"ranges_searched"`
+	RangesTotal      int            `json:"ranges_total"`
+	ResiduesSearched int64          `json:"residues_searched"`
+	ResiduesTotal    int64          `json:"residues_total"`
+	Fraction         float64        `json:"fraction"` // searched share by residue volume, in [0,1]
+	Skipped          []SkippedRange `json:"skipped,omitempty"`
+}
+
+// SkippedRange names one database range the degraded answer did not
+// search.
+type SkippedRange struct {
+	Index  int    `json:"index"`
+	Lo     int    `json:"lo"`
+	Hi     int    `json:"hi"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // QueryResult carries one query's merged hits, in the same
@@ -169,6 +194,20 @@ func encodeResponse(queries *seq.Set, rep *master.Report) *SearchResponse {
 			qr.Hits[j] = Hit{SeqIndex: h.SeqIndex, SeqID: h.SeqID, Score: h.Score}
 		}
 		resp.Results[i] = qr
+	}
+	if cov := rep.Coverage; cov != nil {
+		resp.Coverage = &Coverage{
+			RangesSearched:   cov.RangesSearched,
+			RangesTotal:      cov.RangesTotal,
+			ResiduesSearched: cov.ResiduesSearched,
+			ResiduesTotal:    cov.ResiduesTotal,
+			Fraction:         cov.Fraction(),
+		}
+		for _, sk := range cov.Skipped {
+			resp.Coverage.Skipped = append(resp.Coverage.Skipped, SkippedRange{
+				Index: sk.Index, Lo: sk.Lo, Hi: sk.Hi, Reason: sk.Reason,
+			})
+		}
 	}
 	return resp
 }

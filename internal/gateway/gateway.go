@@ -121,11 +121,14 @@ type Counters struct {
 	Admitted   uint64 `json:"admitted"`
 	ShedQueue  uint64 `json:"shed_queue"`
 	ShedClient uint64 `json:"shed_client"`
-	// Completed counts 200s; Failed counts backend errors (5xx);
+	// Completed counts 2xx answers (200 full + 206 partial); Degraded
+	// counts the 206 subset — partial-coverage answers from a backend
+	// riding over dark ranges. Failed counts backend errors (5xx);
 	// TimedOut counts propagated-deadline 504s; ClientGone counts
 	// requests whose client disconnected before the answer (their
 	// search ctx was canceled — no status was writable).
 	Completed  uint64 `json:"completed"`
+	Degraded   uint64 `json:"degraded"`
 	Failed     uint64 `json:"failed"`
 	TimedOut   uint64 `json:"timed_out"`
 	ClientGone uint64 `json:"client_gone"`
@@ -166,6 +169,7 @@ type Gateway struct {
 	shedQueue  atomic.Uint64
 	shedClient atomic.Uint64
 	completed  atomic.Uint64
+	degraded   atomic.Uint64
 	failed     atomic.Uint64
 	timedOut   atomic.Uint64
 	clientGone atomic.Uint64
@@ -252,6 +256,7 @@ func (g *Gateway) Counters() Counters {
 		ShedQueue:     g.shedQueue.Load(),
 		ShedClient:    g.shedClient.Load(),
 		Completed:     g.completed.Load(),
+		Degraded:      g.degraded.Load(),
 		Failed:        g.failed.Load(),
 		TimedOut:      g.timedOut.Load(),
 		ClientGone:    g.clientGone.Load(),
@@ -275,17 +280,31 @@ func clientKey(r *http.Request) string {
 	return "addr:" + host
 }
 
-// retryAfter estimates, in whole seconds (>= 1), how long until a shed
-// client plausibly finds a free slot: the held slots drain through
-// Capacity parallel executors at the EWMA search latency. Before any
-// search completed the EWMA is empty and one second stands in.
+// maxRetryAfterSeconds caps the Retry-After estimate at an hour: past
+// that the number carries no information a client can act on, and the
+// cap keeps the float64 product below anything an int conversion could
+// mangle.
+const maxRetryAfterSeconds = 3600
+
+// retryAfter estimates, in whole seconds, how long until a shed client
+// plausibly finds a free slot: the held slots drain through Capacity
+// parallel executors at the EWMA search latency. The estimate is
+// clamped to [1, maxRetryAfterSeconds] — cold start (no completions
+// yet, so an empty EWMA) must never produce "Retry-After: 0", which
+// well-behaved clients read as an invitation to hammer the gateway
+// that is already shedding them, and a huge queue over a slow backend
+// must not overflow through the int conversion into a negative header.
 func (g *Gateway) retryAfter(held int) int {
 	mean, n := g.lat.Snapshot()
 	if n == 0 || mean <= 0 {
 		mean = time.Second
 	}
 	rounds := held/g.cfg.Capacity + 1
-	secs := int(math.Ceil((time.Duration(rounds) * mean).Seconds()))
+	est := math.Ceil(float64(rounds) * mean.Seconds())
+	if est > maxRetryAfterSeconds {
+		return maxRetryAfterSeconds
+	}
+	secs := int(est)
 	if secs < 1 {
 		secs = 1
 	}
@@ -413,7 +432,17 @@ func (g *Gateway) handleSearch(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		g.lat.Observe(time.Since(start))
 		g.completed.Add(1)
-		writeJSON(w, http.StatusOK, encodeResponse(queries, rep))
+		// A degraded backend answer is a 206: the body is the usual
+		// response plus the coverage block, so clients that only check
+		// for 2xx still work while coverage-aware ones see exactly what
+		// was skipped. Full answers stay 200, byte-identical to a
+		// gateway that never heard of degraded mode.
+		status := http.StatusOK
+		if rep.Coverage != nil {
+			status = http.StatusPartialContent
+			g.degraded.Add(1)
+		}
+		writeJSON(w, status, encodeResponse(queries, rep))
 	case errors.Is(err, context.DeadlineExceeded):
 		g.timedOut.Add(1)
 		writeError(w, &apiError{code: http.StatusGatewayTimeout, msg: "search deadline exceeded"})

@@ -109,7 +109,7 @@ func queriesJSON(t *testing.T, queries *seq.Set, topK int) []byte {
 }
 
 // post sends one search and returns the status, decoded body (for
-// 200s), the raw body, and the Retry-After header.
+// 200s and 206s), the raw body, and the Retry-After header.
 func post(t *testing.T, client *http.Client, url string, body []byte, header map[string]string) (int, *SearchResponse, []byte, string) {
 	t.Helper()
 	req, err := http.NewRequest(http.MethodPost, url+"/v1/search", bytes.NewReader(body))
@@ -129,10 +129,10 @@ func post(t *testing.T, client *http.Client, url string, body []byte, header map
 		t.Fatal(err)
 	}
 	var sr *SearchResponse
-	if resp.StatusCode == http.StatusOK {
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusPartialContent {
 		sr = new(SearchResponse)
 		if err := json.Unmarshal(raw, sr); err != nil {
-			t.Fatalf("200 body did not decode: %v\n%s", err, raw)
+			t.Fatalf("%d body did not decode: %v\n%s", resp.StatusCode, err, raw)
 		}
 	}
 	return resp.StatusCode, sr, raw, resp.Header.Get("Retry-After")

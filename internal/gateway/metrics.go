@@ -49,7 +49,8 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("swdual_gateway_admitted_total", "Requests that reached an execution slot.", c.Admitted)
 	p.counter("swdual_gateway_shed_queue_total", "Requests rejected with 429 because the admission queue was full.", c.ShedQueue)
 	p.counter("swdual_gateway_shed_client_total", "Requests rejected with 429 by the per-client slot bound.", c.ShedClient)
-	p.counter("swdual_gateway_completed_total", "Searches answered 200.", c.Completed)
+	p.counter("swdual_gateway_completed_total", "Searches answered 2xx (200 full plus 206 partial).", c.Completed)
+	p.counter("swdual_gateway_degraded_total", "Searches answered 206 with partial database coverage.", c.Degraded)
 	p.counter("swdual_gateway_failed_total", "Searches failed by the backend (5xx).", c.Failed)
 	p.counter("swdual_gateway_timed_out_total", "Searches that hit their propagated deadline (504).", c.TimedOut)
 	p.counter("swdual_gateway_client_gone_total", "Requests whose client disconnected before the answer.", c.ClientGone)
@@ -72,6 +73,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("swdual_engine_hedged_searches_total", "Searches hedged on a second replica.", st.HedgedSearches)
 	p.counter("swdual_engine_failed_over_total", "Calls retried on a sibling replica after a lost connection.", st.FailedOver)
 	p.counter("swdual_engine_redials_total", "Dead replicas revived by the background reconnect loop.", st.Redials)
+	p.counter("swdual_engine_degraded_searches_total", "Searches answered with partial coverage because a range had no live replica.", st.DegradedSearches)
 
 	// Process-level memory accounting: with a mapped .swdb the corpus
 	// lives outside the Go heap, and these three gauges are how an

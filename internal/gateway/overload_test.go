@@ -156,6 +156,36 @@ func TestOverloadRetryAfterTracksLatency(t *testing.T) {
 	}
 }
 
+// TestRetryAfterClamped pins the estimate's bounds. Cold start — an
+// EWMA that has never observed a completion — must report the 1-second
+// floor, never 0 (a "Retry-After: 0" tells the very clients being shed
+// to retry immediately). And a pathological queue over a slow backend
+// must saturate at the ceiling instead of overflowing through the
+// float-to-int conversion into a negative or garbage header.
+func TestRetryAfterClamped(t *testing.T) {
+	be := newGateBackend(testEngine(t, testDB(20, 966)))
+	g, _ := New(be, Config{Capacity: 1, Queue: 2, ClientSlots: 100})
+	defer g.Close()
+
+	// Cold start: no observations at any held depth still floors at 1s.
+	for _, held := range []int{0, 1, 3} {
+		if got := g.retryAfter(held); got < 1 {
+			t.Fatalf("cold-start retryAfter(%d) = %d, want >= 1", held, got)
+		}
+	}
+	if got := g.retryAfter(0); got != 1 {
+		t.Fatalf("cold-start retryAfter(0) = %d, want exactly the 1s floor", got)
+	}
+
+	// Overflow: an hour-long EWMA mean times a absurd held count would
+	// overflow int64 nanoseconds under Duration math; the estimate must
+	// saturate at the ceiling, never wrap.
+	g.lat.Observe(time.Hour)
+	if got := g.retryAfter(1 << 40); got != maxRetryAfterSeconds {
+		t.Fatalf("saturated retryAfter = %d, want the %d-second ceiling", got, maxRetryAfterSeconds)
+	}
+}
+
 // TestAdmittedLatencyStaysBounded is the latency half of the overload
 // criterion: with Capacity = 1 and no queue, an admitted request never
 // shares the backend and never waits at the gateway — every excess

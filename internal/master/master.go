@@ -112,6 +112,58 @@ type Report struct {
 	WorkerTasks  map[string]int
 	SimMakespan  float64 // simulated makespan from the schedule, if any
 	IdleFraction float64
+	// Coverage is non-nil only on a degraded answer: a sharded
+	// coordinator running with a partial degradation policy searched
+	// some ranges of the database but skipped others whose every
+	// replica was unavailable. nil means full coverage — the invariant
+	// every non-degraded path preserves, so full answers stay
+	// byte-identical with or without degraded mode configured.
+	Coverage *Coverage
+}
+
+// SkippedRange names one database range a degraded search did not
+// touch: its shard index, its [Lo, Hi) sequence slice, and the failure
+// that took it out (pre-formatted — reasons are for operators, not for
+// errors.Is).
+type SkippedRange struct {
+	Index  int
+	Lo, Hi int
+	Reason string
+}
+
+// Coverage quantifies how much of the database a degraded search
+// actually saw. Hits from searched ranges are byte-identical to what a
+// full search would report for those ranges; the skipped ranges
+// contributed nothing, so a global top-k may be missing matches that
+// live there.
+type Coverage struct {
+	// RangesSearched / RangesTotal count shard ranges; residues weight
+	// them by how much sequence data each range holds.
+	RangesSearched   int
+	RangesTotal      int
+	ResiduesSearched int64
+	ResiduesTotal    int64
+	Skipped          []SkippedRange
+}
+
+// Fraction is the searched share of the database by residue volume, in
+// [0, 1] (1 when the database is empty — nothing was missed).
+func (c *Coverage) Fraction() float64 {
+	if c.ResiduesTotal <= 0 {
+		return 1
+	}
+	return float64(c.ResiduesSearched) / float64(c.ResiduesTotal)
+}
+
+// Clone deep-copies the coverage so a cached or shared answer cannot
+// alias the original's Skipped slice.
+func (c *Coverage) Clone() *Coverage {
+	if c == nil {
+		return nil
+	}
+	out := *c
+	out.Skipped = append([]SkippedRange(nil), c.Skipped...)
+	return &out
 }
 
 // Master coordinates a one-shot search: it builds a Pool, runs one

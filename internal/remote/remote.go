@@ -367,6 +367,26 @@ func (b *Backend) Search(ctx context.Context, queries *seq.Set, opts engine.Sear
 			rep.Results[qi] = qr
 			rep.Cells += qr.Cells
 		}
+		if wc := m.Coverage; wc != nil {
+			// The server answered with partial coverage: rebuild the label
+			// so a coordinator stacked above this backend sees the same
+			// degraded answer a local caller would.
+			cov := &master.Coverage{
+				RangesSearched:   int(wc.RangesSearched),
+				RangesTotal:      int(wc.RangesTotal),
+				ResiduesSearched: int64(wc.ResiduesSearched),
+				ResiduesTotal:    int64(wc.ResiduesTotal),
+			}
+			for _, sk := range wc.Skipped {
+				cov.Skipped = append(cov.Skipped, master.SkippedRange{
+					Index:  int(sk.Index),
+					Lo:     int(sk.Lo),
+					Hi:     int(sk.Hi),
+					Reason: sk.Reason,
+				})
+			}
+			rep.Coverage = cov
+		}
 		rep.Wall = time.Since(start)
 		if sec := rep.Wall.Seconds(); sec > 0 {
 			rep.GCUPS = float64(rep.Cells) / sec / 1e9
@@ -444,6 +464,7 @@ func (b *Backend) Stats() engine.Stats {
 		HedgedSearches:    m.HedgedSearches,
 		FailedOver:        m.FailedOver,
 		Redials:           m.Redials,
+		DegradedSearches:  m.DegradedSearches,
 	}
 	for _, w := range m.Workers {
 		st.Workers = append(st.Workers, engine.WorkerRate{

@@ -88,7 +88,48 @@ type Config struct {
 	RedialMax  time.Duration
 	// ProbeTimeout bounds the post-redial health ping (default 5s).
 	ProbeTimeout time.Duration
+	// Index is the shard index the coordinator assigned this set (0 for
+	// a standalone set). It is informational: ErrRangeUnavailable
+	// carries it so a degraded coordinator can say which range of its
+	// partition went dark without parsing the set's name.
+	Index int
 }
+
+// ErrRangeUnavailable is the typed error Search and Plan return when
+// every replica of the set is unavailable: the range itself is dark,
+// not just one server. A sharded coordinator detects it with errors.As
+// to decide between failing the whole search and degrading to partial
+// coverage.
+//
+// Cause is the last underlying failure pre-formatted into a string —
+// deliberately not a wrapped error, so an engine.ErrClosed raised by a
+// dying replica cannot leak through errors.Is and convince a caller
+// that the *coordinator* is closed (the guard the old %v-formatted
+// message provided).
+type ErrRangeUnavailable struct {
+	// Range is the set's label, e.g. "shard 1 [10,20)".
+	Range string
+	// Index is the coordinator-assigned shard index (Config.Index).
+	Index int
+	// Replicas is how many replicas the range had, all unavailable.
+	Replicas int
+	// Cause describes the last failure ("" when every replica was
+	// already down and reconnecting, so no fresh error was observed).
+	Cause string
+}
+
+func (e *ErrRangeUnavailable) Error() string {
+	if e.Cause == "" {
+		return fmt.Sprintf("replica %s: all %d replicas down (reconnecting)", e.Range, e.Replicas)
+	}
+	return fmt.Sprintf("replica %s: all %d replicas unavailable: %s", e.Range, e.Replicas, e.Cause)
+}
+
+// RangeUnavailable marks the error for coordinators that detect
+// degradable failures through a local interface instead of importing
+// this package (the shard coordinator does, to avoid an import cycle
+// through remote's tests).
+func (e *ErrRangeUnavailable) RangeUnavailable() bool { return true }
 
 func (c *Config) setDefaults() {
 	if c.HedgeFactor <= 0 {
@@ -422,10 +463,18 @@ func (s *Set) Search(ctx context.Context, queries *seq.Set, opts engine.SearchOp
 	if s.isClosed() {
 		return nil, engine.ErrClosed
 	}
-	if lastErr == nil {
-		return nil, fmt.Errorf("replica %s: all %d replicas down (reconnecting)", s.name, len(s.slots))
+	return nil, s.rangeUnavailable(lastErr)
+}
+
+// rangeUnavailable builds the typed every-replica-down error for this
+// set, flattening lastErr into a string (see ErrRangeUnavailable.Cause
+// for why it is not wrapped).
+func (s *Set) rangeUnavailable(lastErr error) error {
+	e := &ErrRangeUnavailable{Range: s.name, Index: s.cfg.Index, Replicas: len(s.slots)}
+	if lastErr != nil {
+		e.Cause = lastErr.Error()
 	}
-	return nil, fmt.Errorf("replica %s: all %d replicas unavailable: %v", s.name, len(s.slots), lastErr)
+	return e
 }
 
 // armResult is one replica's answer inside a (possibly hedged) search.
@@ -548,10 +597,7 @@ func (s *Set) Plan(queryLens []int) (*sched.Schedule, error) {
 		s.markDown(idx, b)
 		lastErr = err
 	}
-	if lastErr == nil {
-		return nil, fmt.Errorf("replica %s: all %d replicas down (reconnecting)", s.name, len(s.slots))
-	}
-	return nil, fmt.Errorf("replica %s: all %d replicas unavailable: %v", s.name, len(s.slots), lastErr)
+	return nil, s.rangeUnavailable(lastErr)
 }
 
 // Stats describes the slice once (every replica serves the same one)
@@ -598,6 +644,7 @@ func (s *Set) Stats() engine.Stats {
 		agg.HedgedSearches += st.HedgedSearches
 		agg.FailedOver += st.FailedOver
 		agg.Redials += st.Redials
+		agg.DegradedSearches += st.DegradedSearches
 		for _, w := range st.Workers {
 			w.Name = fmt.Sprintf("r%d/%s", i, w.Name)
 			agg.Workers = append(agg.Workers, w)

@@ -264,9 +264,10 @@ func NewFlight() *Flight {
 
 // Call is one in-flight search a leader runs and followers wait on.
 type Call struct {
-	done chan struct{}
-	hits [][]master.Hit // immutable once done is closed
-	err  error
+	done     chan struct{}
+	hits     [][]master.Hit   // immutable once done is closed
+	coverage *master.Coverage // non-nil only for degraded answers
+	err      error
 }
 
 // Join returns the in-flight call for key, creating it when absent.
@@ -288,13 +289,40 @@ func (f *Flight) Join(key string) (c *Call, leader bool) {
 // therefore never sticky). hits must be a copy the followers may share;
 // they are treated as immutable from here on.
 func (f *Flight) Finish(key string, c *Call, hits [][]master.Hit, err error) {
+	f.finish(key, c, hits, nil, err)
+}
+
+// FinishPartial publishes a degraded leader's outcome: followers get
+// the surviving hits together with the coverage describing what was
+// skipped, so a collapsed answer is labeled partial exactly like the
+// leader's. Degraded answers never reach the Cache — that is the
+// caller's contract; this method only carries the metadata across the
+// flight.
+func (f *Flight) FinishPartial(key string, c *Call, hits [][]master.Hit, coverage *master.Coverage) {
+	f.finish(key, c, hits, coverage, nil)
+}
+
+func (f *Flight) finish(key string, c *Call, hits [][]master.Hit, coverage *master.Coverage, err error) {
 	f.mu.Lock()
 	if cur, ok := f.calls[key]; ok && cur == c {
 		delete(f.calls, key)
 	}
 	f.mu.Unlock()
-	c.hits, c.err = hits, err
+	c.hits, c.coverage, c.err = hits, coverage, err
 	close(c.done)
+}
+
+// Coverage reports the degraded-answer metadata the leader published
+// (nil for a full-coverage answer). Valid only after Wait returned
+// without error; the value is shared and must be Cloned before
+// attaching to a caller-owned Report.
+func (c *Call) Coverage() *master.Coverage {
+	select {
+	case <-c.done:
+		return c.coverage
+	default:
+		return nil
+	}
 }
 
 // Wait blocks until the leader finished or ctx is done. The returned

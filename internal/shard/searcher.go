@@ -39,7 +39,31 @@ type Config struct {
 	Cache      bool
 	CacheSize  int
 	CacheBytes int64
+	// Degraded selects what a scatter does when a range reports every
+	// replica unavailable (replica.ErrRangeUnavailable): fail the whole
+	// search (DegradedFail, the default and the historical behavior) or
+	// answer from the surviving ranges with Coverage metadata
+	// (DegradedPartial).
+	Degraded DegradedPolicy
 }
+
+// DegradedPolicy selects how a scatter treats a range whose every
+// replica is unavailable.
+type DegradedPolicy int
+
+const (
+	// DegradedFail fails the whole search when any range is
+	// unavailable — no partial answers ever.
+	DegradedFail DegradedPolicy = iota
+	// DegradedPartial gathers and merges the surviving ranges instead:
+	// the Report carries Coverage naming what was skipped, hits from
+	// searched ranges stay byte-identical to a full search's
+	// contribution from those ranges, and the answer never enters the
+	// result cache. Only a replica.ErrRangeUnavailable triggers
+	// degradation; every other failure (skew, logical errors, a closed
+	// coordinator) still fails the search.
+	DegradedPartial
+)
 
 // Searcher is a sharded search service: one engine.Backend per database
 // shard, a scatter of every Search call to all shards concurrently, and
@@ -61,14 +85,20 @@ type Searcher struct {
 
 	ranges   []Range
 	backends []engine.Backend
+	degraded DegradedPolicy
 
 	dbResidues int64
 	dbLengths  []int
-	checksum   uint32
+	// rangeResidues holds each range's residue volume, precomputed so a
+	// degraded gather prices skipped ranges without rescanning the
+	// database.
+	rangeResidues []int64
+	checksum      uint32
 
-	searches  atomic.Uint64
-	queries   atomic.Uint64
-	collapsed atomic.Uint64
+	searches      atomic.Uint64
+	queries       atomic.Uint64
+	collapsed     atomic.Uint64
+	degradedCount atomic.Uint64
 
 	// cache and flight are the coordinator-side result cache (nil when
 	// disabled): answers are served and collapsed before the scatter.
@@ -114,11 +144,21 @@ func New(db *seq.Set, cfg Config) (*Searcher, error) {
 		return nil, err
 	}
 	s.policy = cfg.Engine.Policy
+	s.degraded = cfg.Degraded
 	if cfg.Cache {
 		s.EnableCache(cfg.CacheSize, cfg.CacheBytes)
 	}
 	return s, nil
 }
+
+// SetDegradedPolicy selects the degradation policy (see Config.Degraded)
+// for a Searcher assembled with WithBackends. Call before serving
+// traffic: like EnableCache, it is not synchronized with concurrent
+// Search calls.
+func (s *Searcher) SetDegradedPolicy(p DegradedPolicy) { s.degraded = p }
+
+// DegradedPolicy reports the configured degradation policy.
+func (s *Searcher) DegradedPolicy() DegradedPolicy { return s.degraded }
 
 // EnableCache attaches the coordinator-side result cache and
 // singleflight collapsing (see Config.Cache). maxEntries and maxBytes
@@ -164,12 +204,13 @@ func WithBackends(db *seq.Set, strategy Strategy, ranges []Range, backends []eng
 		topK = engine.DefaultTopK // the gather cap must agree with each shard's cap
 	}
 	s := &Searcher{
-		db:        db,
-		strategy:  strategy,
-		topK:      topK,
-		ranges:    ranges,
-		backends:  backends,
-		dbLengths: make([]int, db.Len()),
+		db:            db,
+		strategy:      strategy,
+		topK:          topK,
+		ranges:        ranges,
+		backends:      backends,
+		dbLengths:     make([]int, db.Len()),
+		rangeResidues: make([]int64, len(ranges)),
 	}
 	// One sweep over the residues computes everything the facade needs:
 	// the whole-database fingerprint, each slice's fingerprint for the
@@ -185,6 +226,7 @@ func WithBackends(db *seq.Set, strategy Strategy, ranges []Range, backends []eng
 			crcAll.Write(db.Seqs[j].Residues)
 			s.dbLengths[j] = db.Seqs[j].Len()
 			s.dbResidues += int64(db.Seqs[j].Len())
+			s.rangeResidues[i] += int64(db.Seqs[j].Len())
 		}
 		if want := crcSlice.Sum32(); backends[i].Checksum() != want {
 			return nil, fmt.Errorf("shard %d [%d,%d): backend database checksum %08x, want %08x (shard server loaded a different database?)",
@@ -233,6 +275,7 @@ func (s *Searcher) Stats() engine.Stats {
 		Searches:          s.searches.Load(),
 		Queries:           s.queries.Load(),
 		CollapsedSearches: s.collapsed.Load(),
+		DegradedSearches:  s.degradedCount.Load(),
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()
@@ -263,6 +306,7 @@ func (s *Searcher) Stats() engine.Stats {
 		agg.HedgedSearches += st.HedgedSearches
 		agg.FailedOver += st.FailedOver
 		agg.Redials += st.Redials
+		agg.DegradedSearches += st.DegradedSearches
 		for _, w := range st.Workers {
 			w.Name = fmt.Sprintf("shard%d/%s", si, w.Name)
 			agg.Workers = append(agg.Workers, w)
@@ -342,7 +386,14 @@ func (s *Searcher) Search(ctx context.Context, queries *seq.Set, opts engine.Sea
 		if err != nil {
 			return nil, err
 		}
-		return resultcache.Report(s.policy, queries, resultcache.CopyHits(hits)), nil
+		rep := resultcache.Report(s.policy, queries, resultcache.CopyHits(hits))
+		if cov := call.Coverage(); cov != nil {
+			// The leader's answer was partial; a collapsed caller's answer
+			// is the same partial answer and must say so.
+			rep.Coverage = cov.Clone()
+			s.degradedCount.Add(1)
+		}
+		return rep, nil
 	}
 	rep, err := s.scatter(ctx, queries, topK)
 	if err != nil {
@@ -353,6 +404,14 @@ func (s *Searcher) Search(ctx context.Context, queries *seq.Set, opts engine.Sea
 	for i := range rep.Results {
 		hits[i] = rep.Results[i].Hits
 	}
+	if rep.Coverage != nil {
+		// A degraded answer never enters the cache — a later full-coverage
+		// search must not be answered from a partial one — but it does
+		// cross the flight, coverage and all, so collapsed callers get the
+		// same labeled partial answer the leader got.
+		s.flight.FinishPartial(key, call, resultcache.CopyHits(hits), rep.Coverage.Clone())
+		return rep, nil
+	}
 	s.cache.Put(key, hits)
 	s.flight.Finish(key, call, resultcache.CopyHits(hits), nil)
 	return rep, nil
@@ -361,6 +420,13 @@ func (s *Searcher) Search(ctx context.Context, queries *seq.Set, opts engine.Sea
 // scatter runs one real sharded search: fan out to every backend, wait,
 // triage errors, gather. This is the whole of Search when the
 // coordinator cache is off.
+//
+// Under DegradedPartial a range failing with
+// replica.ErrRangeUnavailable does not cancel its siblings and does
+// not fail the call: the survivors are gathered and the Report carries
+// Coverage naming the skipped ranges. Every other failure keeps the
+// historical semantics — first non-collateral error cancels the
+// scatter and fails the search.
 func (s *Searcher) scatter(ctx context.Context, queries *seq.Set, topK int) (*master.Report, error) {
 	start := time.Now()
 	// The first shard to fail cancels its siblings: a dead shard server
@@ -370,6 +436,10 @@ func (s *Searcher) scatter(ctx context.Context, queries *seq.Set, topK int) (*ma
 	defer cancelScatter()
 	reps := make([]*master.Report, len(s.backends))
 	errs := make([]error, len(s.backends))
+	// skipped[i] marks a range the degraded policy rode over; each
+	// goroutine writes only its own slot, and wg.Wait orders the writes
+	// before any read.
+	skipped := make([]bool, len(s.backends))
 	// The root cause is pinned at the moment it happens, not recovered
 	// by scanning errs afterwards: when two shards fail in the same
 	// scatter, an index-order scan could blame a shard whose only
@@ -386,6 +456,18 @@ func (s *Searcher) scatter(ctx context.Context, queries *seq.Set, topK int) (*ma
 			defer wg.Done()
 			reps[i], errs[i] = s.backends[i].Search(scatterCtx, queries, engine.SearchOptions{TopK: topK})
 			if err := errs[i]; err != nil {
+				// The marker interface (implemented by
+				// replica.ErrRangeUnavailable) keeps this package from
+				// importing replica, which would close an import cycle
+				// through remote's tests.
+				var rangeDown interface{ RangeUnavailable() bool }
+				if s.degraded == DegradedPartial && errors.As(err, &rangeDown) && rangeDown.RangeUnavailable() {
+					// The range is dark but the search survives: record
+					// the skip and, crucially, do NOT cancel the
+					// siblings — they are the answer now.
+					skipped[i] = true
+					return
+				}
 				if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 					failMu.Lock()
 					if failErr == nil {
@@ -412,34 +494,108 @@ func (s *Searcher) scatter(ctx context.Context, queries *seq.Set, topK int) (*ma
 	}
 	// Only collateral context errors remain: every recorded error came
 	// from cancelScatter (the caller's own ctx was checked above).
-	for _, err := range errs {
-		if err != nil {
+	for i, err := range errs {
+		if err != nil && !skipped[i] {
 			return nil, err
 		}
 	}
-	return s.gather(queries, reps, topK, start), nil
+	anySurvived := false
+	for i := range reps {
+		if !skipped[i] {
+			anySurvived = true
+			break
+		}
+	}
+	if !anySurvived {
+		// Nothing to degrade to: with every range dark, the first
+		// range's own error names the failure (all carry the same typed
+		// cause).
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("shard %d [%d,%d): %w", i, s.ranges[i].Lo, s.ranges[i].Hi, err)
+			}
+		}
+	}
+	rep := s.gather(queries, reps, topK, start)
+	if cov := s.coverage(skipped, errs); cov != nil {
+		rep.Coverage = cov
+		s.degradedCount.Add(1)
+	}
+	return rep, nil
+}
+
+// coverage builds the degraded-answer metadata for a scatter that
+// skipped ranges, or nil when every range was searched (the common
+// case must stay allocation- and metadata-free so full answers remain
+// byte-identical to the non-degraded path).
+func (s *Searcher) coverage(skipped []bool, errs []error) *master.Coverage {
+	any := false
+	for _, sk := range skipped {
+		if sk {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	cov := &master.Coverage{
+		RangesTotal:   len(s.ranges),
+		ResiduesTotal: s.dbResidues,
+	}
+	for i, sk := range skipped {
+		if !sk {
+			cov.RangesSearched++
+			cov.ResiduesSearched += s.rangeResidues[i]
+			continue
+		}
+		reason := ""
+		if errs[i] != nil {
+			reason = errs[i].Error()
+		}
+		cov.Skipped = append(cov.Skipped, master.SkippedRange{
+			Index:  i,
+			Lo:     s.ranges[i].Lo,
+			Hi:     s.ranges[i].Hi,
+			Reason: reason,
+		})
+	}
+	return cov
 }
 
 // gather merges the per-shard reports into one whole-database Report:
 // hits via MergeTopK with each shard's index offset, accounting by sum,
 // and worker tallies under shard-prefixed names (every shard has its own
 // cpu-0). No single Schedule spans the shards — each ran its own wave —
-// so Schedule stays nil.
+// so Schedule stays nil. A nil entry in reps is a skipped range (a
+// degraded scatter): it contributes nothing — an empty hit list merges
+// as the absence it is — and skipping means the merged order of the
+// surviving hits is exactly what a full search would have produced for
+// those ranges.
 func (s *Searcher) gather(queries *seq.Set, reps []*master.Report, topK int, start time.Time) *master.Report {
 	rep := &master.Report{
-		Policy:      reps[0].Policy,
 		Results:     make([]master.QueryResult, queries.Len()),
 		WorkerBusy:  map[string]time.Duration{},
 		WorkerTasks: map[string]int{},
+	}
+	for _, r := range reps {
+		if r != nil {
+			rep.Policy = r.Policy
+			break
+		}
 	}
 	lists := make([][]master.Hit, len(reps))
 	offsets := make([]int, len(reps))
 	for qi := range rep.Results {
 		qr := master.QueryResult{QueryIndex: qi, QueryID: queries.Seqs[qi].ID}
 		for si, r := range reps {
+			offsets[si] = s.ranges[si].Lo
+			if r == nil {
+				lists[si] = nil
+				continue
+			}
 			res := r.Results[qi]
 			lists[si] = res.Hits
-			offsets[si] = s.ranges[si].Lo
 			qr.Elapsed += res.Elapsed
 			qr.SimSeconds += res.SimSeconds
 			qr.Cells += res.Cells
@@ -449,6 +605,9 @@ func (s *Searcher) gather(queries *seq.Set, reps []*master.Report, topK int, sta
 		rep.Cells += qr.Cells
 	}
 	for si, r := range reps {
+		if r == nil {
+			continue
+		}
 		for name, d := range r.WorkerBusy {
 			rep.WorkerBusy[fmt.Sprintf("shard%d/%s", si, name)] += d
 		}

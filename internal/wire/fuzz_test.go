@@ -34,6 +34,11 @@ func FuzzUnmarshal(f *testing.F) {
 		{QueryIndex: 0, ElapsedNS: 3, Cells: 12, Hits: []ResultHit{{SeqIndex: 1, Score: 44, SeqID: "s"}}},
 		{QueryIndex: 1},
 	}})
+	// A degraded answer: the trailing coverage block names the skipped
+	// ranges (version 6).
+	seed(&SearchResult{ID: 8, Results: []Result{{QueryIndex: 0}},
+		Coverage: &Coverage{RangesSearched: 1, RangesTotal: 2, ResiduesSearched: 500, ResiduesTotal: 1200,
+			Skipped: []SkippedRange{{Index: 1, Lo: 10, Hi: 20, Reason: "all 2 replicas down"}}}})
 	seed(&Cancel{ID: 9})
 	seed(&ReqError{ID: 9, Text: "engine: searcher is closed"})
 	seed(&StatsRequest{ID: 2})
@@ -41,7 +46,7 @@ func FuzzUnmarshal(f *testing.F) {
 		PipelinedWaves: 4, OverlapNanos: 987654321,
 		CacheHits: 11, CacheMisses: 12, CacheEvictions: 13, CollapsedSearches: 14,
 		ProfileEntries: 15, ProfileHits: 16, ProfileMisses: 17, ProfileEvictions: 18,
-		HedgedSearches: 19, FailedOver: 20, Redials: 21,
+		HedgedSearches: 19, FailedOver: 20, Redials: 21, DegradedSearches: 22,
 		Workers: []WorkerRateInfo{{Name: "gpu-0", Kind: 1, AdvertisedGCUPS: 24.8, ObservedGCUPS: math.NaN(), Tasks: 7}, {Name: "", Kind: 0}}})
 	seed(&PlanRequest{ID: 3, QueryLens: []uint32{30, 80, 120}})
 	seed(&PlanResponse{ID: 3, Algorithm: "dual-approx", Makespan: 1.5, CPULoads: []float64{1.5, 1.25}, GPULoads: []float64{math.NaN()}})
@@ -65,14 +70,20 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add(TypeSearchRequest, append(make([]byte, 16), 0xff, 0xff, 0xff, 0x7f))
 	f.Add(TypeSearchResult, append(make([]byte, 8), 0xff, 0xff, 0xff, 0x7f))
 	f.Add(TypeSearchResult, append(make([]byte, 12), 0xff, 0xff, 0xff, 0x7f, 1, 2, 3))
+	// A coverage block whose skipped-range count lies about the payload
+	// (8-byte id, zero result count, flag byte, 24 bytes of coverage
+	// counters, then a hostile count) — must error before allocating.
+	f.Add(TypeSearchResult, append(append(append(make([]byte, 8), 0, 0, 0, 0, 1), make([]byte, 24)...), 0xff, 0xff, 0xff, 0x7f))
+	// A SearchResult truncated before the version-6 flag byte.
+	f.Add(TypeSearchResult, append(make([]byte, 8), 0, 0, 0, 0))
 	f.Add(TypeCancel, []byte{1, 2})
 	f.Add(TypeReqError, append(make([]byte, 8), 0xff, 0xff, 'x'))
 	f.Add(TypeStatsResponse, make([]byte, 10))
 	// StatsResponse whose trailing worker count lies about the payload
-	// (the fixed fields occupy exactly 164 bytes since the replication
-	// counters joined the cache and profile counters, so the appended
-	// u32 is read as the worker count).
-	f.Add(TypeStatsResponse, append(make([]byte, 164), 0xff, 0xff, 0xff, 0x7f))
+	// (the fixed fields occupy exactly 172 bytes since DegradedSearches
+	// joined the replication counters, so the appended u32 is read as
+	// the worker count).
+	f.Add(TypeStatsResponse, append(make([]byte, 172), 0xff, 0xff, 0xff, 0x7f))
 	f.Add(TypePlanRequest, append(make([]byte, 8), 0xff, 0xff, 0xff, 0xff))
 	f.Add(TypePlanResponse, append(make([]byte, 10), 0xff, 0xff, 0xff, 0x7f))
 	f.Add(TypeInfo, append(make([]byte, 8), 0, 0, 0xde, 0xad, 0xbe, 0xef, 0xff, 0xff, 0xff, 0xff))

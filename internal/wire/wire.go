@@ -31,7 +31,12 @@ const (
 	// 5 added the replication counters (HedgedSearches, FailedOver,
 	// Redials) before the worker list in StatsResponse, again shifting
 	// the list; version-4 peers are rejected at handshake.
-	Version = 5
+	// 6 added DegradedSearches after Redials in StatsResponse (shifting
+	// the worker list) and the optional Coverage block trailing
+	// SearchResult, which a degraded coordinator fills in; version-5
+	// peers are rejected at handshake, not mid-session on a partial
+	// answer.
+	Version = 6
 	// MaxFrame bounds a frame payload (64 MiB) to fail fast on corrupt
 	// length prefixes.
 	MaxFrame = 64 << 20
@@ -128,11 +133,35 @@ type SearchRequest struct {
 	Queries []Query
 }
 
+// SkippedRange names one database range a degraded search skipped
+// (version 6): its shard index, its [Lo, Hi) sequence slice, and the
+// operator-facing reason.
+type SkippedRange struct {
+	Index  uint32
+	Lo, Hi uint32
+	Reason string
+}
+
+// Coverage is the degraded-answer metadata trailing a SearchResult
+// (version 6): how much of the database the answer actually saw. A nil
+// Coverage on the decoded message means full coverage — the frame
+// carries a zero flag byte and nothing else, so full answers cost one
+// byte and stay byte-compatible across the degraded feature.
+type Coverage struct {
+	RangesSearched   uint32
+	RangesTotal      uint32
+	ResiduesSearched uint64
+	ResiduesTotal    uint64
+	Skipped          []SkippedRange
+}
+
 // SearchResult answers one SearchRequest: one Result per query, in
-// request order.
+// request order. Coverage is non-nil only on a degraded (partial)
+// answer.
 type SearchResult struct {
-	ID      uint64
-	Results []Result
+	ID       uint64
+	Results  []Result
+	Coverage *Coverage
 }
 
 // Cancel asks the server to abandon an in-flight request. The server
@@ -198,7 +227,11 @@ type StatsResponse struct {
 	HedgedSearches uint64
 	FailedOver     uint64
 	Redials        uint64
-	Workers        []WorkerRateInfo
+	// DegradedSearches (version 6) counts searches answered with partial
+	// coverage because every replica of some range was unavailable. Zero
+	// on servers that fail instead of degrading.
+	DegradedSearches uint64
+	Workers          []WorkerRateInfo
 }
 
 // PlanRequest asks the server to run its scheduling policy over
@@ -343,6 +376,22 @@ func Marshal(msg any) (byte, []byte, error) {
 		for i := range m.Results {
 			encodeResult(&e, &m.Results[i])
 		}
+		if m.Coverage == nil {
+			e.u8(0)
+		} else {
+			e.u8(1)
+			e.u32(m.Coverage.RangesSearched)
+			e.u32(m.Coverage.RangesTotal)
+			e.u64(m.Coverage.ResiduesSearched)
+			e.u64(m.Coverage.ResiduesTotal)
+			e.u32(uint32(len(m.Coverage.Skipped)))
+			for _, sk := range m.Coverage.Skipped {
+				e.u32(sk.Index)
+				e.u32(sk.Lo)
+				e.u32(sk.Hi)
+				e.str(sk.Reason)
+			}
+		}
 		return TypeSearchResult, e.buf, nil
 	case *Cancel:
 		e.u64(m.ID)
@@ -378,6 +427,7 @@ func Marshal(msg any) (byte, []byte, error) {
 		e.u64(m.HedgedSearches)
 		e.u64(m.FailedOver)
 		e.u64(m.Redials)
+		e.u64(m.DegradedSearches)
 		e.u32(uint32(len(m.Workers)))
 		for _, w := range m.Workers {
 			e.str(w.Name)
@@ -550,6 +600,33 @@ func Unmarshal(typ byte, payload []byte) (any, error) {
 			}
 			m.Results = append(m.Results, r)
 		}
+		if d.u8() != 0 {
+			cov := &Coverage{}
+			cov.RangesSearched = d.u32()
+			cov.RangesTotal = d.u32()
+			cov.ResiduesSearched = d.u64()
+			cov.ResiduesTotal = d.u64()
+			sn := d.u32()
+			if d.err != nil {
+				return nil, d.err
+			}
+			// Each skipped range needs >= 14 bytes (three u32s plus the
+			// 2-byte reason prefix); validate before allocating, in int64
+			// so a huge count cannot wrap past the guard on 32-bit.
+			if int64(len(d.buf))/14 < int64(sn) {
+				return nil, fmt.Errorf("wire: skipped-range count %d exceeds payload", sn)
+			}
+			cov.Skipped = make([]SkippedRange, 0, sn)
+			for i := uint32(0); i < sn && d.err == nil; i++ {
+				var sk SkippedRange
+				sk.Index = d.u32()
+				sk.Lo = d.u32()
+				sk.Hi = d.u32()
+				sk.Reason = d.str()
+				cov.Skipped = append(cov.Skipped, sk)
+			}
+			m.Coverage = cov
+		}
 		return m, d.err
 	case TypeCancel:
 		m := &Cancel{}
@@ -589,6 +666,7 @@ func Unmarshal(typ byte, payload []byte) (any, error) {
 		m.HedgedSearches = d.u64()
 		m.FailedOver = d.u64()
 		m.Redials = d.u64()
+		m.DegradedSearches = d.u64()
 		n := d.u32()
 		if d.err != nil {
 			return nil, d.err

@@ -129,6 +129,11 @@ func newSearcher(db *Database, opt Options, batchWindow int) (*Searcher, error) 
 		if opt.Cache {
 			sh.EnableCache(opt.CacheSize, opt.CacheBytes)
 		}
+		if opt.Degraded {
+			// This is where degraded mode earns its keep: a range whose
+			// every replica died answers partial instead of failing.
+			sh.SetDegradedPolicy(shard.DegradedPartial)
+		}
 		inner, shards = sh, sh.Shards()
 	case len(opt.RemoteShards) > 0:
 		sh, err := dialRemoteShards(db, opt.RemoteShards, strategy, cfg.TopK, opt.DialTimeout)
@@ -140,14 +145,22 @@ func newSearcher(db *Database, opt Options, batchWindow int) (*Searcher, error) 
 			// skips the network scatter entirely.
 			sh.EnableCache(opt.CacheSize, opt.CacheBytes)
 		}
+		if opt.Degraded {
+			sh.SetDegradedPolicy(shard.DegradedPartial)
+		}
 		inner, shards = sh, sh.Shards()
 	case opt.Shards > 1:
 		// shard.New moves the cache to the coordinator and runs the
 		// per-shard engines uncached (one answer cached twice would
 		// double the memory for zero extra hits).
+		degraded := shard.DegradedFail
+		if opt.Degraded {
+			degraded = shard.DegradedPartial
+		}
 		sh, err := shard.New(db.set, shard.Config{
 			Shards: opt.Shards, Strategy: strategy, Engine: cfg,
 			Cache: opt.Cache, CacheSize: opt.CacheSize, CacheBytes: opt.CacheBytes,
+			Degraded: degraded,
 		})
 		if err != nil {
 			return nil, err
@@ -231,7 +244,7 @@ func dialReplicaShards(db *Database, groups [][]string, strategy shard.Strategy,
 			reps = append(reps, replica.Replica{Backend: b, Redial: redial})
 		}
 		name := fmt.Sprintf("shard %d [%d,%d)", i, ranges[i].Lo, ranges[i].Hi)
-		set, err := replica.NewSet(name, want, reps, replica.Config{})
+		set, err := replica.NewSet(name, want, reps, replica.Config{Index: i})
 		if err != nil {
 			for _, r := range reps {
 				if r.Backend != nil {

@@ -150,6 +150,15 @@ type Options struct {
 	// FASTA. The Searcher owns the resulting database and releases the
 	// mapping on Close. Ignored when an explicit db is passed.
 	DBPath string
+	// Degraded selects partial-result search on a sharded coordinator
+	// (Shards > 1, RemoteShards, ReplicaShards): when every replica of
+	// a database range is unavailable, Search answers from the
+	// surviving ranges and the Report carries Coverage naming what was
+	// skipped, instead of failing outright. Full-coverage answers are
+	// byte-identical with the option on or off; degraded answers never
+	// enter the result cache. Ignored by an unsharded Searcher — there
+	// is no surviving subset of one engine.
+	Degraded bool
 }
 
 func (o Options) params() (sw.Params, error) {
